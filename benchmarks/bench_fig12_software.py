@@ -1,0 +1,86 @@
+"""Figure 12: X-SET speedup over software baselines (GraphPi/GraphSet/GLUMIN).
+
+Regenerates the three sub-figures as speedup rows per dataset × pattern and
+checks the paper's shape: CPU baselines lose by roughly an order of magnitude
+(GraphPi more than GraphSet), the GPU roughly ties, and X-SET does it all
+with a fraction of the GPU's memory bandwidth.
+"""
+
+from repro.analysis import format_table, geomean, plan_cache, run_workload
+from repro.baselines import GLUMIN, GRAPHPI, GRAPHSET
+from repro.graph import load_dataset
+from repro.patterns import PATTERNS, count_embeddings
+
+from _common import BENCH_SCALE, FIG_PATTERNS, emit, once
+
+DATASETS = ("PP", "WV", "AS", "MI", "YT", "PA")  # the paper's six
+
+
+def _run():
+    rows = {}
+    for ds in DATASETS:
+        scale = BENCH_SCALE[ds]
+        graph = load_dataset(ds, scale=scale)
+        for pat in FIG_PATTERNS:
+            plan = plan_cache(PATTERNS[pat])
+            xset = run_workload(ds, pat, scale=scale)
+            stats = count_embeddings(graph, plan)
+            assert stats.embeddings == xset.embeddings
+            rows[(ds, pat)] = {
+                "xset_s": xset.seconds,
+                "xset_bw": xset.dram_bandwidth_gbps,
+                "GraphPi": GRAPHPI.estimate(graph, plan, stats).seconds
+                / xset.seconds,
+                "GraphSet": GRAPHSET.estimate(graph, plan, stats).seconds
+                / xset.seconds,
+                "GLUMIN": GLUMIN.estimate(graph, plan, stats).seconds
+                / xset.seconds,
+            }
+    return rows
+
+
+def test_fig12_software_baselines(benchmark):
+    rows = once(benchmark, _run)
+    table = [
+        (
+            ds,
+            pat,
+            f"{rows[(ds, pat)]['GraphPi']:.1f}x",
+            f"{rows[(ds, pat)]['GraphSet']:.1f}x",
+            f"{rows[(ds, pat)]['GLUMIN']:.2f}x",
+        )
+        for ds in DATASETS
+        for pat in FIG_PATTERNS
+    ]
+    gm = {
+        sysname: geomean(r[sysname] for r in rows.values())
+        for sysname in ("GraphPi", "GraphSet", "GLUMIN")
+    }
+    per_ds_gpi = {
+        ds: geomean(rows[(ds, p)]["GraphPi"] for p in FIG_PATTERNS)
+        for ds in DATASETS
+    }
+    text = format_table(
+        ["graph", "pattern", "vs GraphPi", "vs GraphSet", "vs GLUMIN"],
+        table,
+        title="Figure 12 — X-SET speedup over software systems",
+    )
+    text += (
+        f"\ngeomeans: GraphPi {gm['GraphPi']:.1f}x  "
+        f"GraphSet {gm['GraphSet']:.1f}x  GLUMIN {gm['GLUMIN']:.2f}x"
+    )
+    text += "\nper-dataset GraphPi geomeans: " + "  ".join(
+        f"{ds}={v:.1f}x" for ds, v in per_ds_gpi.items()
+    )
+    emit("fig12_software", text)
+
+    # shape: CPU systems lose clearly, GraphPi worse than GraphSet
+    assert gm["GraphPi"] > 3.0
+    assert gm["GraphPi"] > gm["GraphSet"] > 1.0
+    # GPU roughly ties (paper: 1.05x geomean); allow a broad band
+    assert 0.4 < gm["GLUMIN"] < 4.0
+    # X-SET uses a small fraction of the GPU's 960 GB/s bandwidth
+    max_bw = max(r["xset_bw"] for r in rows.values())
+    assert max_bw < 0.15 * 960.0
+    # paper: PA shows the most modest CPU speedup of the large graphs
+    assert per_ds_gpi["PA"] <= max(per_ds_gpi.values())

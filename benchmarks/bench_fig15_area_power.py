@@ -1,0 +1,64 @@
+"""Figure 15: area & power breakdown of order-aware SIU vs SMA by width."""
+
+from repro.analysis import format_table
+from repro.hw import siu_area_power
+
+from _common import emit, once
+
+WIDTHS = (2, 4, 8, 16)
+
+
+def _run():
+    return {
+        (kind, n): siu_area_power(kind, n)
+        for kind in ("order-aware", "sma")
+        for n in WIDTHS
+    }
+
+
+def test_fig15_area_power(benchmark):
+    ap = once(benchmark, _run)
+    rows = []
+    for n in WIDTHS:
+        oa, sma = ap[("order-aware", n)], ap[("sma", n)]
+        rows.append(
+            (
+                n,
+                f"{oa.input_mm2*1e3:.2f}/{oa.pipeline_mm2*1e3:.2f}/"
+                f"{oa.output_mm2*1e3:.2f}",
+                f"{sma.input_mm2*1e3:.2f}/{sma.pipeline_mm2*1e3:.2f}/"
+                f"{sma.output_mm2*1e3:.2f}",
+                f"{(1 - oa.total_mm2/sma.total_mm2)*100:.1f}%",
+                f"{oa.total_mw:.2f}/{sma.total_mw:.2f}",
+                f"{(1 - oa.total_mw/sma.total_mw)*100:.1f}%",
+            )
+        )
+    text = format_table(
+        ["N", "OA in/pipe/out (1e-3 mm^2)", "SMA in/pipe/out",
+         "area saving", "power OA/SMA (mW)", "power saving"],
+        rows,
+        title="Figure 15 — Order-Aware SIU vs Systolic Merge Array",
+    )
+    text += ("\npaper: area savings 34.1% (N=2) to 62.4% (N=16); "
+             "power savings up to 75.4% (N=16)")
+    emit("fig15_area_power", text)
+
+    area_savings = [
+        1 - ap[("order-aware", n)].total_mm2 / ap[("sma", n)].total_mm2
+        for n in WIDTHS
+    ]
+    power_savings = [
+        1 - ap[("order-aware", n)].total_mw / ap[("sma", n)].total_mw
+        for n in WIDTHS
+    ]
+    # savings are positive at every width and grow with N
+    assert all(s > 0.25 for s in area_savings)
+    assert area_savings == sorted(area_savings)
+    assert power_savings == sorted(power_savings)
+    # endpoint bands around the paper's numbers
+    assert 0.25 < area_savings[0] < 0.55      # paper 34.1% at N=2
+    assert 0.55 < area_savings[-1] < 0.85     # paper 62.4% at N=16
+    assert 0.60 < power_savings[-1] < 0.85    # paper 75.4% at N=16
+    # input/output cost is held constant between designs at each width
+    for n in WIDTHS:
+        assert ap[("order-aware", n)].input_mm2 == ap[("sma", n)].input_mm2

@@ -1,0 +1,39 @@
+"""Table 1: theoretical comparison of set-intersection architectures."""
+
+from repro.analysis import format_table
+from repro.hw import theory_table_rows
+
+from _common import emit, once
+
+
+def test_table1_theory(benchmark):
+    rows = once(benchmark, lambda: theory_table_rows(segment_width=8))
+    text = format_table(
+        ["Architecture", "Throughput", "Latency", "Resource",
+         "thr@N=8", "lat@N=8", "cmp@N=8"],
+        [
+            (
+                r["architecture"], r["throughput"], r["latency"],
+                r["resource"], r["throughput_n"], r["latency_n"],
+                r["comparators_n"],
+            )
+            for r in rows
+        ],
+        title="Table 1 — SIU architecture comparison "
+              "(N = elements/cycle from both inputs)",
+    )
+    emit("table1_theory", text)
+
+    by_name = {r["architecture"]: r for r in rows}
+    merge = by_name["Merge Queue"]
+    sma = by_name["Systolic Array"]
+    ours = by_name["Order-Aware (ours)"]
+    # throughput: 1 vs N vs N
+    assert merge["throughput_n"] == 1
+    assert sma["throughput_n"] == ours["throughput_n"] == 8
+    # latency: O(1) vs O(N) vs O(log N)
+    assert merge["latency_n"] < ours["latency_n"] < sma["latency_n"]
+    # resource: O(1) vs O(N^2) vs O(N log N)
+    assert merge["comparators_n"] < ours["comparators_n"] < (
+        sma["comparators_n"]
+    )

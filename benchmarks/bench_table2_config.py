@@ -1,0 +1,22 @@
+"""Table 2: system configuration of the evaluated X-SET instance."""
+
+from repro.core import config_table, xset_default
+
+from _common import emit, once
+
+
+def test_table2_config(benchmark):
+    text = once(benchmark, lambda: config_table(xset_default()))
+    emit("table2_config", "Table 2 — system configuration\n" + text)
+
+    cfg = xset_default()
+    assert cfg.num_pes == 16
+    assert cfg.sius_per_pe == 4
+    assert cfg.segment_width == 8
+    assert cfg.num_task_sets == 96
+    assert cfg.task_set_width == 4
+    assert cfg.private_kb == 32
+    assert cfg.shared_mb == 4.0
+    assert cfg.dram.channels == 4
+    assert abs(cfg.dram.peak_bandwidth_gbps - 76.84) < 0.2
+    assert (cfg.dram.cl, cfg.dram.trcd, cfg.dram.trp) == (16, 16, 16)

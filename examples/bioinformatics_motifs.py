@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Network-motif significance in a protein-interaction-style graph (§1).
+
+Bioinformatics pipelines (CFinder, color coding) ask which small subgraphs
+are *over-represented*: they count motifs in the real network and compare
+against a degree-preserving null model.  This example counts all six
+connected 4-vertex motifs on a synthetic PPI-like graph with X-SET, rebuilds
+the null model with the configuration generator, and reports z-score-style
+enrichment ratios — the full motif-significance workflow on the accelerator.
+
+Usage::
+
+    python examples/bioinformatics_motifs.py [--null-samples 3]
+"""
+
+import argparse
+import math
+
+from repro.analysis import format_table
+from repro.core import XSetAccelerator
+from repro.graph import configuration_model, graph_stats, powerlaw_graph
+from repro.patterns import build_plan, motif_patterns
+
+
+def build_ppi_like_graph():
+    """A 3k-node graph with PPI-ish degree distribution and clustering."""
+    return powerlaw_graph(
+        num_vertices=3_000,
+        avg_degree=7.0,
+        max_degree=280,
+        seed=13,
+        name="ppi-like",
+        triangle_boost=0.35,
+    ).relabeled_by_degree()
+
+
+def count_motifs(accel, graph, motifs):
+    counts = {}
+    for motif in motifs:
+        plan = build_plan(motif, induced=True)
+        counts[motif.name] = accel.count(graph, motif, plan=plan).embeddings
+    return counts
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--null-samples", type=int, default=3,
+                        help="degree-preserving random rewirings (default 3)")
+    args = parser.parse_args()
+
+    graph = build_ppi_like_graph()
+    print("network:", graph_stats(graph).row())
+
+    accel = XSetAccelerator()
+    motifs = motif_patterns(4)
+    real = count_motifs(accel, graph, motifs)
+
+    # Null model: configuration-model rewirings with the same degrees.
+    null_counts = {m.name: [] for m in motifs}
+    for sample in range(args.null_samples):
+        null = configuration_model(
+            graph.degrees, seed=1000 + sample, name=f"null{sample}"
+        ).relabeled_by_degree()
+        for name, count in count_motifs(accel, null, motifs).items():
+            null_counts[name].append(count)
+
+    rows = []
+    for motif in motifs:
+        name = motif.name
+        samples = null_counts[name]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / max(len(samples) - 1, 1)
+        std = math.sqrt(var) if var > 0 else 1.0
+        z = (real[name] - mean) / std
+        ratio = real[name] / mean if mean else float("inf")
+        rows.append(
+            (
+                name,
+                motif.num_edges,
+                real[name],
+                f"{mean:.0f}",
+                f"{ratio:.2f}x",
+                f"{z:+.1f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["motif", "#edges", "real count", "null mean", "enrichment",
+             "z-score"],
+            rows,
+            title=f"4-vertex induced motif census "
+                  f"({args.null_samples} null samples)",
+        )
+    )
+    print("\ndense motifs (diamond/clique) should be enriched — the real "
+          "network has clustering the degree-preserving null lacks.")
+
+
+if __name__ == "__main__":
+    main()

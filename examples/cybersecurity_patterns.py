@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Suspicious-structure hunting in a connection graph (cybersecurity, §1).
+
+Web-spam and intrusion detection look for *densely connected subgraphs* in
+communication/link graphs: cliques of mutually-communicating hosts and
+diamonds (pairs of hosts sharing two common contacts) are classic alarm
+patterns.  This example builds a skewed connection graph with a planted
+dense cluster, uses X-SET to count the alarm patterns, and then switches to
+enumeration to recover the actual member hosts of every 4-clique — the
+workflow of an analyst drilling down from counts to suspects.
+
+Usage::
+
+    python examples/cybersecurity_patterns.py
+"""
+
+from collections import Counter
+
+from repro.core import XSetAccelerator
+from repro.graph import CSRGraph, graph_stats, powerlaw_graph
+from repro.patterns import PATTERNS
+
+
+def build_connection_graph() -> CSRGraph:
+    """A skewed 4k-host connection graph with a planted 12-host botnet."""
+    base = powerlaw_graph(
+        num_vertices=4_000,
+        avg_degree=6.0,
+        max_degree=900,
+        seed=7,
+        name="connections",
+        triangle_boost=0.05,
+    )
+    botnet = list(range(200, 212))  # 12 hosts that all talk to each other
+    edges = list(base.edges())
+    edges += [
+        (u, v) for i, u in enumerate(botnet) for v in botnet[i + 1 :]
+    ]
+    return CSRGraph.from_edges(
+        base.num_vertices, edges, name="connections+botnet"
+    ).relabeled_by_degree()
+
+
+def main() -> None:
+    graph = build_connection_graph()
+    print("connection graph:", graph_stats(graph).row())
+
+    accel = XSetAccelerator()
+
+    # Stage 1: triage — counts of the alarm patterns.
+    print("\nalarm-pattern counts:")
+    for name in ("3CF", "4CF", "5CF", "DIA"):
+        report = accel.count(graph, PATTERNS[name])
+        print(
+            f"  {name:<4} {report.embeddings:>10}  "
+            f"({report.seconds * 1e3:.3f} ms simulated)"
+        )
+
+    # Stage 2: drill-down — enumerate 4-cliques and rank hosts by how many
+    # they appear in.  The planted botnet members float to the top.
+    membership: Counter[int] = Counter()
+    n_cliques = 0
+    for embedding in accel.enumerate(graph, PATTERNS["4CF"]):
+        n_cliques += 1
+        membership.update(embedding)
+    print(f"\nenumerated {n_cliques} 4-cliques")
+    print("hosts appearing in the most 4-cliques (suspect ranking):")
+    for host, appearances in membership.most_common(12):
+        print(f"  host {host:>5}: {appearances} cliques")
+    top = {h for h, _ in membership.most_common(12)}
+    print(f"\n(the 12 planted botnet hosts form C(12,4)={495 * 1} of these; "
+          f"suspect set size {len(top)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Architect's tour: explore the X-SET hardware design space.
+
+Uses the library the way the paper's §7.5–§7.7 do — sweeping SIU
+microarchitecture, segment width, scheduler, PE count and bitmap width on a
+fixed workload, and printing the performance / area Pareto view an
+accelerator architect would use to choose a configuration.
+
+Usage::
+
+    python examples/design_space_exploration.py [--scale 0.3]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import XSetAccelerator, xset_default
+from repro.graph import load_dataset
+from repro.hw import pe_area_breakdown, siu_area_power
+from repro.patterns import PATTERNS
+
+
+def explore(scale: float) -> None:
+    graph = load_dataset("WV", scale=scale)
+    pattern = PATTERNS["4CF"]
+    base = XSetAccelerator().count(graph, pattern)
+    print(base.summary())
+
+    # -- SIU microarchitecture × segment width --------------------------------
+    rows = []
+    for kind in ("order-aware", "sma", "merge"):
+        widths = (4, 8, 16) if kind != "merge" else (1,)
+        for n in widths:
+            cfg = xset_default(
+                siu_kind=kind,
+                segment_width=max(n, 2) if kind != "merge" else 1,
+                bitmap_width=8 if kind != "merge" else 0,
+                name=f"{kind}-{n}",
+            )
+            report = XSetAccelerator(cfg).count(graph, pattern)
+            area = siu_area_power(kind, max(n, 2)).total_mm2
+            perf = base.seconds / report.seconds
+            rows.append(
+                (
+                    f"{kind} N={n}",
+                    f"{report.cycles:.0f}",
+                    f"{perf:.2f}x",
+                    f"{area * 1e3:.2f}",
+                    f"{perf / (area * 1e3):.2f}",
+                )
+            )
+    print()
+    print(
+        format_table(
+            ["SIU design", "cycles", "perf", "area (1e-3 mm^2)",
+             "perf/area"],
+            rows,
+            title="SIU design space on WV / 4-clique",
+        )
+    )
+
+    # -- PE scaling ------------------------------------------------------------
+    rows = []
+    for pes in (1, 2, 4, 8, 16, 32):
+        cfg = xset_default(num_pes=pes, name=f"xset-{pes}pe")
+        report = XSetAccelerator(cfg).count(graph, pattern)
+        pe_mm2 = pe_area_breakdown()["total"]
+        rows.append(
+            (
+                pes,
+                f"{report.cycles:.0f}",
+                f"{report.siu_utilization:.1%}",
+                f"{pes * pe_mm2:.2f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["#PEs", "cycles", "SIU util", "total area (mm^2)"],
+            rows,
+            title="PE scaling",
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args()
+    explore(args.scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Watching patterns on an evolving graph — the paper's §2.1 scenario.
+
+"In many practical applications, the interested patterns are fixed while
+the data graph is dynamic."  This example simulates a transaction-monitoring
+deployment: a fixed alarm pattern (the triangle — circular transaction flow) is
+tracked over a stream of edge insertions and deletions
+using the incremental counting engine, and each update's locality (ball
+size) is reported to show why incremental maintenance beats recounting.
+
+Usage::
+
+    python examples/dynamic_graph_monitoring.py [--updates 40]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core.incremental import IncrementalGPM
+from repro.graph import graph_stats, powerlaw_graph
+from repro.patterns import PATTERNS, build_plan, count_embeddings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--updates", type=int, default=40)
+    args = parser.parse_args()
+
+    graph = powerlaw_graph(
+        2_000, avg_degree=6.0, max_degree=150, seed=17,
+        name="transactions", triangle_boost=0.2,
+    ).relabeled_by_degree()
+    print("transaction graph:", graph_stats(graph).row())
+
+    pattern = PATTERNS["3CF"]
+    inc = IncrementalGPM(graph, pattern)
+    print(f"initial triangle count: {inc.count}")
+
+    rng = np.random.default_rng(99)
+    alerts = 0
+    t_inc = 0.0
+    for step in range(args.updates):
+        u, v = map(int, rng.integers(0, graph.num_vertices, 2))
+        if u == v:
+            continue
+        start = time.perf_counter()
+        if inc.has_edge(u, v):
+            delta = inc.remove_edge(u, v)
+            action = "remove"
+        else:
+            delta = inc.insert_edge(u, v)
+            action = "insert"
+        t_inc += time.perf_counter() - start
+        if delta > 10:
+            alerts += 1
+            print(
+                f"  step {step:>3}: {action} ({u},{v}) -> +{delta} triangles"
+                "  ** ALERT: dense structure forming **"
+            )
+        elif step < 5:
+            print(f"  step {step:>3}: {action} ({u},{v}) -> {delta:+d}")
+
+    print(f"\nafter {inc.updates_applied} updates: {inc.count} triangles "
+          f"({alerts} alerts)")
+    print(f"incremental maintenance: {t_inc:.2f}s total")
+
+    # ground truth from a full recount on the final snapshot
+    start = time.perf_counter()
+    truth = count_embeddings(inc.snapshot(), build_plan(pattern)).embeddings
+    t_full = time.perf_counter() - start
+    assert truth == inc.count, "incremental count diverged!"
+    print(f"full recount agrees ({truth}) — one recount costs {t_full:.2f}s, "
+          f"i.e. ~{t_full * inc.updates_applied / max(t_inc, 1e-9):.0f}x "
+          "the incremental stream")
+
+
+if __name__ == "__main__":
+    main()

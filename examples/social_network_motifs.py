@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Motif census of a social network — the paper's intro use case (§1).
+
+Social-network analysis classifies networks by their pattern frequencies:
+triangles and wedges (3-motifs, the 3MF workload), plus the denser 4-vertex
+structures — diamonds, 4-cliques, tailed triangles and 4-cycles.  This
+example runs the whole census on the WikiVote stand-in and compares how the
+barrier-free scheduler behaves against DFS scheduling on the same hardware,
+showing why irregular degree distributions need out-of-order dispatch.
+
+Usage::
+
+    python examples/social_network_motifs.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import XSetAccelerator, count_motifs3, xset_default
+from repro.graph import graph_stats, load_dataset
+from repro.patterns import PATTERNS
+
+
+def motif_census(scale: float) -> None:
+    graph = load_dataset("WV", scale=scale)
+    print("graph:", graph_stats(graph).row())
+
+    # -- 3-motif finding (3MF): triangle + induced wedge ----------------------
+    motifs = count_motifs3(graph)
+    print(f"\n3-motif census: {motifs['triangle']} triangles, "
+          f"{motifs['wedge']} induced wedges")
+    closure = 3 * motifs["triangle"] / (
+        3 * motifs["triangle"] + motifs["wedge"]
+    )
+    print(f"global clustering (transitivity): {closure:.4f}")
+
+    # -- 4-vertex patterns ----------------------------------------------------
+    accel = XSetAccelerator()
+    rows = []
+    for name in ("4CF", "DIA", "TT", "CYC"):
+        report = accel.count(graph, PATTERNS[name])
+        rows.append(
+            (
+                name,
+                report.embeddings,
+                f"{report.cycles:.0f}",
+                f"{report.seconds * 1e3:.3f} ms",
+                f"{report.siu_utilization:.1%}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["pattern", "count", "cycles", "sim time", "SIU util"],
+            rows,
+            title="4-vertex pattern census on X-SET (16 PEs, 4 SIUs each)",
+        )
+    )
+
+    # -- scheduler comparison on the most irregular workload -------------------
+    print("\nscheduler impact on the tailed-triangle workload:")
+    for sched, params in (
+        ("barrier-free", {}),
+        ("pseudo-dfs", {"window": 4}),
+        ("dfs", {}),
+    ):
+        cfg = xset_default(
+            scheduler=sched, scheduler_params=params, name=f"xset-{sched}"
+        )
+        report = XSetAccelerator(cfg).count(graph, PATTERNS["TT"])
+        print(
+            f"  {sched:<13} {report.cycles:>12.0f} cycles "
+            f"(SIU util {report.siu_utilization:.1%})"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (default 0.5)")
+    args = parser.parse_args()
+    motif_census(args.scale)
+
+
+if __name__ == "__main__":
+    main()

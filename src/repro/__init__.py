@@ -1,0 +1,61 @@
+"""X-SET reproduction: an order-aware GPM accelerator, in Python.
+
+Full-system reproduction of *X-SET: An Efficient Graph Pattern Matching
+Accelerator With Order-Aware Parallel Intersection Units* (MICRO 2025):
+the order-aware set intersection unit, the barrier-free task scheduler, the
+set-centric GPM software stack, the memory hierarchy, baseline architectures
+and every evaluation experiment.
+
+Quickstart::
+
+    from repro import XSetAccelerator, load_dataset, PATTERNS
+
+    accel = XSetAccelerator()
+    report = accel.count(load_dataset("WV"), PATTERNS["3CF"])
+    print(report.embeddings, report.cycles)
+"""
+
+from .errors import (
+    ConfigError,
+    GraphFormatError,
+    MemoryModelError,
+    PatternError,
+    PlanError,
+    SchedulerError,
+    SimulationError,
+    XSetError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "GraphFormatError",
+    "MemoryModelError",
+    "PatternError",
+    "PlanError",
+    "SchedulerError",
+    "SimulationError",
+    "XSetError",
+    "__version__",
+]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the high-level API to keep import cost low."""
+    from importlib import import_module
+
+    lazy = {
+        "CSRGraph": "repro.graph",
+        "load_dataset": "repro.graph",
+        "dataset_table": "repro.graph",
+        "PATTERNS": "repro.patterns",
+        "Pattern": "repro.patterns",
+        "MatchingPlan": "repro.patterns",
+        "XSetAccelerator": "repro.core",
+        "SystemConfig": "repro.core",
+        "run_experiment": "repro.core",
+    }
+    if name in lazy:
+        return getattr(import_module(lazy[name]), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

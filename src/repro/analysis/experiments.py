@@ -1,0 +1,120 @@
+"""Shared experiment-running helpers used by the benchmark harness.
+
+Every figure/table regeneration in ``benchmarks/`` is a thin wrapper over
+these: run a grid of (dataset, pattern, configuration) workloads, collect
+reports, and format the paper-style rows.  Dataset scales default to values
+that keep the whole suite at laptop timescales; pass ``scale=1.0`` for the
+full stand-in sizes (EXPERIMENTS.md records which scale each recorded run
+used).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.config import SystemConfig, xset_default
+from ..graph.datasets import load_dataset
+from ..patterns.pattern import PATTERNS, Pattern
+from ..patterns.plan import MatchingPlan, build_plan
+from ..sim.host import run_on_soc
+from ..sim.report import SimReport
+
+__all__ = [
+    "DEFAULT_BENCH_SCALE",
+    "BENCH_PATTERNS",
+    "BENCH_DATASETS",
+    "geomean",
+    "run_workload",
+    "run_grid",
+    "format_table",
+    "plan_cache",
+]
+
+#: default down-scale applied to dataset stand-ins inside benchmarks
+DEFAULT_BENCH_SCALE = 0.25
+#: the pattern set used by the end-to-end figures (5CF/3MF run separately)
+BENCH_PATTERNS = ("3CF", "4CF", "CYC", "DIA", "TT")
+#: datasets used by the end-to-end figures (Table 3 keys)
+BENCH_DATASETS = ("PP", "WV", "AS", "MI", "YT", "PA", "LJ")
+
+_plan_cache: dict[tuple[str, bool | None], MatchingPlan] = {}
+
+
+def plan_cache(pattern: Pattern, induced: bool | None = None) -> MatchingPlan:
+    """Memoised plan construction (plans are pure functions of the pattern)."""
+    key = (pattern.name, induced)
+    if key not in _plan_cache:
+        _plan_cache[key] = build_plan(pattern, induced=induced)
+    return _plan_cache[key]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate of choice for speedups."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_workload(
+    dataset: str,
+    pattern: str,
+    config: SystemConfig | None = None,
+    scale: float = DEFAULT_BENCH_SCALE,
+) -> SimReport:
+    """Simulate one (dataset, pattern) workload on one configuration."""
+    graph = load_dataset(dataset, scale=scale)
+    plan = plan_cache(PATTERNS[pattern])
+    return run_on_soc(graph, plan, config or xset_default())
+
+
+@dataclass
+class GridResult:
+    """Results of a dataset × pattern grid on one configuration."""
+
+    config: SystemConfig
+    scale: float
+    reports: dict[tuple[str, str], SimReport] = field(default_factory=dict)
+
+    def seconds(self, dataset: str, pattern: str) -> float:
+        return self.reports[(dataset, pattern)].seconds
+
+
+def run_grid(
+    config: SystemConfig | None = None,
+    datasets: Sequence[str] = BENCH_DATASETS,
+    patterns: Sequence[str] = BENCH_PATTERNS,
+    scale: float = DEFAULT_BENCH_SCALE,
+) -> GridResult:
+    """Simulate a full dataset × pattern grid on one configuration."""
+    cfg = config or xset_default()
+    result = GridResult(config=cfg, scale=scale)
+    for ds in datasets:
+        for pat in patterns:
+            result.reports[(ds, pat)] = run_workload(
+                ds, pat, config=cfg, scale=scale
+            )
+    return result
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table in the style of the paper's tables."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Terminal-friendly chart rendering for the benchmark harness.
+
+The paper's artifact plots figures with Jupyter notebooks; this offline
+reproduction renders the same series as ASCII charts inside the benchmark
+result files, so `benchmarks/results/*.txt` are self-contained figure
+regenerations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bars", "line_series"]
+
+
+def _fmt(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    log: bool = False,
+) -> str:
+    """Horizontal bar chart of label → value.
+
+    ``log=True`` scales bar lengths logarithmically, the way the paper plots
+    its speedup figures.
+    """
+    if not data:
+        return "(no data)"
+    values = {k: max(float(v), 0.0) for k, v in data.items()}
+    if log:
+        scaled = {
+            k: math.log10(v + 1.0) for k, v in values.items()
+        }
+    else:
+        scaled = dict(values)
+    peak = max(scaled.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "█" * max(int(round(scaled[key] / peak * width)), 0)
+        lines.append(f"{key:<{label_w}} |{bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Bars grouped by an outer key (e.g. dataset → {system: speedup})."""
+    if not groups:
+        return "(no data)"
+    peak = max(
+        (v for inner in groups.values() for v in inner.values()), default=1.0
+    ) or 1.0
+    label_w = max(
+        len(str(k)) for inner in groups.values() for k in inner
+    )
+    lines = [title] if title else []
+    for group, inner in groups.items():
+        lines.append(f"{group}:")
+        for key, value in inner.items():
+            bar = "▆" * max(int(round(value / peak * width)), 0)
+            lines.append(f"  {key:<{label_w}} |{bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def line_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Multi-series scatter/line plot on a character grid."""
+    if not series or not x:
+        return "(no data)"
+    marks = "ox+*#@%&"
+    all_y = [v for ys in series.values() for v in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for xv, yv in zip(x, ys):
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{_fmt(y_max):>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{_fmt(y_min):>8} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(
+        " " * 10 + f"{_fmt(x_min)}" + " " * (width - 12) + f"{_fmt(x_max)}"
+    )
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Consolidated experiment reporting.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, this module assembles the per-experiment text
+blocks into one report (the reproduction's analogue of the paper artifact's
+result-gathering notebooks) and exposes it through ``python -m repro
+results``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["RESULTS_ORDER", "collect_results", "experiment_summary"]
+
+#: canonical presentation order of the result files
+RESULTS_ORDER = (
+    "table1_theory",
+    "table2_config",
+    "table3_datasets",
+    "table4_area",
+    "table5_simtime",
+    "fig12_software",
+    "fig13_accelerators",
+    "fig14_siu",
+    "fig15_area_power",
+    "fig16_ablation",
+    "fig17a_pe_scaling",
+    "fig17b_siu_scaling",
+    "fig18a_private_cache",
+    "fig18b_shared_cache",
+    "fig19_bitmap",
+    "ext_taskset_capacity",
+    "ext_root_partitioning",
+    "ext_energy",
+)
+
+
+def default_results_dir() -> Path:
+    """`benchmarks/results/` relative to the repository root."""
+    return Path(__file__).resolve().parents[3].parent / "benchmarks" / "results"
+
+
+def _candidate_dirs(results_dir: Path | None) -> list[Path]:
+    if results_dir is not None:
+        return [Path(results_dir)]
+    here = Path(__file__).resolve()
+    return [
+        parent / "benchmarks" / "results"
+        for parent in list(here.parents)[:6]
+    ] + [Path.cwd() / "benchmarks" / "results"]
+
+
+def collect_results(results_dir: Path | None = None) -> dict[str, str]:
+    """Load every available result block, keyed by experiment name."""
+    for candidate in _candidate_dirs(results_dir):
+        if candidate.is_dir():
+            return {
+                path.stem: path.read_text().rstrip()
+                for path in sorted(candidate.glob("*.txt"))
+            }
+    return {}
+
+
+def experiment_summary(results_dir: Path | None = None) -> str:
+    """One consolidated report over all regenerated tables and figures."""
+    blocks = collect_results(results_dir)
+    if not blocks:
+        return (
+            "no results found — run `pytest benchmarks/ --benchmark-only` "
+            "first"
+        )
+    ordered = [name for name in RESULTS_ORDER if name in blocks]
+    ordered += [name for name in sorted(blocks) if name not in RESULTS_ORDER]
+    sections = []
+    for name in ordered:
+        bar = "=" * (len(name) + 8)
+        sections.append(f"{bar}\n=== {name} ===\n{bar}\n{blocks[name]}")
+    missing = [name for name in RESULTS_ORDER if name not in blocks]
+    if missing:
+        sections.append(
+            "(not yet regenerated: " + ", ".join(missing) + ")"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,109 @@
+"""Accelerator baseline runs and compute-density accounting (§7.2.2, §7.3).
+
+FlexMiner / FINGERS / Shogun are simulated in their own configurations (see
+:mod:`repro.core.config`); this module adds the published per-PE areas used
+by the compute-density comparison and a convenience runner that produces the
+Figure-13 speedup rows (everything normalised to FlexMiner, as the paper
+plots it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import (
+    SystemConfig,
+    fingers_config,
+    flexminer_config,
+    shogun_config,
+    xset_default,
+)
+from ..graph.csr import CSRGraph
+from ..patterns.pattern import Pattern
+from ..patterns.plan import MatchingPlan, build_plan
+from ..sim.host import run_on_soc
+from ..sim.report import SimReport
+
+__all__ = [
+    "PUBLISHED_PE_AREA_MM2",
+    "AcceleratorComparison",
+    "compare_accelerators",
+    "compute_density_speedup",
+]
+
+#: per-PE area (mm²) as published (Table 4; FlexMiner is 15 nm)
+PUBLISHED_PE_AREA_MM2 = {
+    "xset": 0.305,
+    "fingers": 0.934,
+    "shogun": 0.971,
+    "flexminer": 0.180,
+}
+
+
+@dataclass
+class AcceleratorComparison:
+    """Simulated results of all four accelerators on one workload."""
+
+    graph_name: str
+    pattern_name: str
+    reports: dict[str, SimReport]
+
+    def seconds(self, system: str) -> float:
+        return self.reports[system].seconds
+
+    def speedup_over(self, system: str, baseline: str = "flexminer") -> float:
+        """End-to-end speedup of ``system`` relative to ``baseline``."""
+        return self.seconds(baseline) / self.seconds(system)
+
+
+def compare_accelerators(
+    graph: CSRGraph,
+    pattern: Pattern,
+    plan: MatchingPlan | None = None,
+    systems: dict[str, SystemConfig] | None = None,
+) -> AcceleratorComparison:
+    """Simulate one workload on X-SET and the three accelerator baselines."""
+    if plan is None:
+        plan = build_plan(pattern)
+    if systems is None:
+        systems = {
+            "xset": xset_default(),
+            "flexminer": flexminer_config(),
+            "fingers": fingers_config(),
+            "shogun": shogun_config(),
+        }
+    reports = {
+        name: run_on_soc(graph, plan, cfg) for name, cfg in systems.items()
+    }
+    return AcceleratorComparison(
+        graph_name=graph.name,
+        pattern_name=plan.pattern.name,
+        reports=reports,
+    )
+
+
+def compute_density_speedup(
+    comparison: AcceleratorComparison,
+    system: str = "xset",
+    baseline: str = "fingers",
+) -> float:
+    """Performance-per-area speedup (§7.3.2).
+
+    Density = 1 / (time × total accelerator area); total area is the
+    published per-PE area times the configured PE count.
+    """
+    sys_report = comparison.reports[system]
+    base_report = comparison.reports[baseline]
+    sys_area = PUBLISHED_PE_AREA_MM2[system] * (
+        sys_report.num_sius // max(_sius_per_pe(system), 1)
+    )
+    base_area = PUBLISHED_PE_AREA_MM2[baseline] * (
+        base_report.num_sius // max(_sius_per_pe(baseline), 1)
+    )
+    return (base_report.seconds * base_area) / (
+        sys_report.seconds * sys_area
+    )
+
+
+def _sius_per_pe(system: str) -> int:
+    return {"xset": 4, "flexminer": 1, "fingers": 8, "shogun": 8}[system]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a shell-level surface mirroring the paper artifact's
+``xset_systemc_simulator <dataset> <pattern> [--cfg ...]`` entry point::
+
+    python -m repro count --dataset WV --pattern 3CF --scale 0.25
+    python -m repro compare --dataset PP --pattern DIA --scale 0.2
+    python -m repro datasets
+    python -m repro config
+    python -m repro area
+    python -m repro plan --pattern DIA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+_SYSTEMS = ("xset", "flexminer", "fingers", "shogun")
+
+
+def _config_for(name: str, overrides: dict):
+    from .core.config import (
+        fingers_config,
+        flexminer_config,
+        shogun_config,
+        xset_default,
+    )
+
+    factory = {
+        "xset": xset_default,
+        "flexminer": flexminer_config,
+        "fingers": fingers_config,
+        "shogun": shogun_config,
+    }[name]
+    return factory(**overrides)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    from .core.api import XSetAccelerator
+    from .graph.datasets import load_dataset
+    from .patterns.pattern import PATTERNS
+
+    overrides = {}
+    if args.pes:
+        overrides["num_pes"] = args.pes
+    if args.sius:
+        overrides["sius_per_pe"] = args.sius
+    config = _config_for(args.system, overrides)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    accel = XSetAccelerator(config)
+    report = accel.count(graph, PATTERNS[args.pattern.upper()])
+    print(report.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines.accelerators import compare_accelerators
+    from .graph.datasets import load_dataset
+    from .patterns.pattern import PATTERNS
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    cmp = compare_accelerators(graph, PATTERNS[args.pattern.upper()])
+    flex = cmp.seconds("flexminer")
+    print(f"{args.pattern} on {args.dataset} (scale {args.scale}):")
+    for system in _SYSTEMS:
+        report = cmp.reports[system]
+        print(
+            f"  {system:<10} {report.cycles:>14.0f} cycles   "
+            f"{flex / report.seconds:>6.2f}x vs FlexMiner"
+        )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .graph.datasets import dataset_table
+
+    print(f"{'name':<6}{'#nodes':>10}{'#edges':>11}"
+          f"{'avg deg':>9}{'max deg':>9}{'skew':>8}")
+    for st in dataset_table(scale=args.scale):
+        print(
+            f"{st.name:<6}{st.num_vertices:>10}{st.num_edges:>11}"
+            f"{st.avg_degree:>9.2f}{st.max_degree:>9}{st.skew:>8.2f}"
+        )
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    from .core.config import config_table
+
+    print(config_table(_config_for(args.system, {})))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from .hw.area import pe_area_breakdown
+
+    breakdown = pe_area_breakdown()
+    for key, mm2 in breakdown.items():
+        print(f"{key:<10}{mm2:>8.3f} mm^2")
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from .analysis.reporting import experiment_summary
+
+    print(experiment_summary())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .patterns.pattern import PATTERNS
+    from .patterns.plan import build_plan
+
+    print(build_plan(PATTERNS[args.pattern.upper()]).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="X-SET graph pattern matching accelerator (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="count a pattern on a dataset")
+    count.add_argument("--dataset", default="WV")
+    count.add_argument("--pattern", default="3CF")
+    count.add_argument("--scale", type=float, default=0.25)
+    count.add_argument("--system", choices=_SYSTEMS, default="xset")
+    count.add_argument("--pes", type=int, default=0)
+    count.add_argument("--sius", type=int, default=0)
+    count.set_defaults(func=_cmd_count)
+
+    compare = sub.add_parser(
+        "compare", help="run all four accelerators on one workload"
+    )
+    compare.add_argument("--dataset", default="PP")
+    compare.add_argument("--pattern", default="3CF")
+    compare.add_argument("--scale", type=float, default=0.2)
+    compare.set_defaults(func=_cmd_compare)
+
+    datasets = sub.add_parser("datasets", help="print the Table-3 stand-ins")
+    datasets.add_argument("--scale", type=float, default=0.25)
+    datasets.set_defaults(func=_cmd_datasets)
+
+    config = sub.add_parser("config", help="print a system configuration")
+    config.add_argument("--system", choices=_SYSTEMS, default="xset")
+    config.set_defaults(func=_cmd_config)
+
+    area = sub.add_parser("area", help="print the PE area breakdown")
+    area.set_defaults(func=_cmd_area)
+
+    plan = sub.add_parser("plan", help="print a pattern's matching plan")
+    plan.add_argument("--pattern", default="DIA")
+    plan.set_defaults(func=_cmd_plan)
+
+    results = sub.add_parser(
+        "results", help="consolidated report of regenerated tables/figures"
+    )
+    results.set_defaults(func=_cmd_results)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

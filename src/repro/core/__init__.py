@@ -1,0 +1,25 @@
+"""Core public API: accelerator object, system configurations, experiments."""
+
+from .api import XSetAccelerator, count_motifs3
+from .incremental import IncrementalGPM, pattern_diameter
+from .config import (
+    SystemConfig,
+    config_table,
+    fingers_config,
+    flexminer_config,
+    shogun_config,
+    xset_default,
+)
+
+__all__ = [
+    "IncrementalGPM",
+    "SystemConfig",
+    "pattern_diameter",
+    "XSetAccelerator",
+    "config_table",
+    "count_motifs3",
+    "fingers_config",
+    "flexminer_config",
+    "shogun_config",
+    "xset_default",
+]

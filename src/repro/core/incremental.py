@@ -1,0 +1,150 @@
+"""Incremental pattern counting on dynamic graphs (paper §2.1 scenario).
+
+The paper motivates fixed-pattern GPM on *dynamic* data graphs — social
+networks and transaction graphs evolve while the watched patterns stay the
+same.  Recounting from scratch per update wastes the accelerator;
+:class:`IncrementalGPM` instead maintains the count under edge insertions
+and deletions by counting only embeddings that *use the updated edge*.
+
+Every embedding containing edge ``(u, v)`` lies inside the ball of radius
+``diameter(P)`` around ``{u, v}``, so the delta is computed as the count
+difference on that induced neighbourhood — exact, and local for the sparse
+graphs GPM targets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..graph.csr import CSRGraph
+from ..patterns.executor import count_embeddings
+from ..patterns.pattern import Pattern
+from ..patterns.plan import MatchingPlan, build_plan
+
+__all__ = ["IncrementalGPM", "pattern_diameter"]
+
+
+def pattern_diameter(pattern: Pattern) -> int:
+    """Longest shortest path in the (connected) pattern graph."""
+    best = 0
+    for source in range(pattern.num_vertices):
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            for w in pattern.neighbors(v):
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        best = max(best, max(dist.values()))
+    return best
+
+
+class IncrementalGPM:
+    """Maintains an exact pattern count across edge updates."""
+
+    def __init__(self, graph: CSRGraph, pattern: Pattern,
+                 induced: bool | None = None) -> None:
+        self.pattern = pattern
+        self.plan: MatchingPlan = build_plan(pattern, induced=induced)
+        self._radius = pattern_diameter(pattern)
+        self._adj: list[set[int]] = [
+            set(int(w) for w in graph.neighbors(v))
+            for v in range(graph.num_vertices)
+        ]
+        self.count = count_embeddings(graph, self.plan).embeddings
+        self.updates_applied = 0
+
+    # -- graph bookkeeping ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._adj[u]
+
+    def _check(self, u: int, v: int) -> None:
+        n = self.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphFormatError(f"edge ({u},{v}) out of range")
+        if u == v:
+            raise GraphFormatError("self loops are not allowed")
+
+    def _ball(self, u: int, v: int) -> list[int]:
+        """Vertices within pattern-diameter hops of the updated edge."""
+        seen = {u, v}
+        frontier = [u, v]
+        for _ in range(self._radius):
+            nxt = []
+            for x in frontier:
+                for y in self._adj[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        nxt.append(y)
+            frontier = nxt
+        return sorted(seen)
+
+    def _ball_graph(self, ball: list[int]) -> tuple[CSRGraph, dict[int, int]]:
+        rank = {v: i for i, v in enumerate(ball)}
+        edges = []
+        for v in ball:
+            for w in self._adj[v]:
+                if w in rank and v < w:
+                    edges.append((rank[v], rank[w]))
+        return CSRGraph.from_edges(len(ball), edges, name="ball"), rank
+
+    def _count_ball(self, ball: list[int]) -> int:
+        graph, _ = self._ball_graph(ball)
+        return count_embeddings(graph, self.plan).embeddings
+
+    # -- updates ----------------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> int:
+        """Add an edge; returns the (non-negative) count delta."""
+        self._check(u, v)
+        if self.has_edge(u, v):
+            return 0
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        ball = self._ball(u, v)
+        after = self._count_ball(ball)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        before = self._count_ball(ball)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        delta = after - before
+        self.count += delta
+        self.updates_applied += 1
+        return delta
+
+    def remove_edge(self, u: int, v: int) -> int:
+        """Remove an edge; returns the (non-positive) count delta."""
+        self._check(u, v)
+        if not self.has_edge(u, v):
+            return 0
+        ball = self._ball(u, v)  # ball while the edge still exists
+        before = self._count_ball(ball)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        after = self._count_ball(ball)
+        delta = after - before
+        self.count += delta
+        self.updates_applied += 1
+        return delta
+
+    # -- export -------------------------------------------------------------------
+
+    def snapshot(self) -> CSRGraph:
+        """Materialise the current graph as an immutable CSR snapshot."""
+        edges = [
+            (u, w)
+            for u in range(self.num_vertices)
+            for w in self._adj[u]
+            if u < w
+        ]
+        return CSRGraph.from_edges(self.num_vertices, edges, name="dynamic")

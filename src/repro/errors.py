@@ -1,0 +1,40 @@
+"""Exception hierarchy for the X-SET reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`XSetError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class XSetError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphFormatError(XSetError):
+    """An input graph is malformed (unsorted rows, bad indices, ...)."""
+
+
+class PatternError(XSetError):
+    """A pattern graph or matching plan is invalid."""
+
+
+class PlanError(PatternError):
+    """A matching plan could not be generated or compiled."""
+
+
+class ConfigError(XSetError):
+    """A hardware/simulator configuration is inconsistent."""
+
+
+class SimulationError(XSetError):
+    """The event-driven simulator reached an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """A task scheduler violated one of its structural invariants."""
+
+
+class MemoryModelError(SimulationError):
+    """The cache/DRAM model was asked to do something impossible."""

@@ -1,0 +1,235 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+All of X-SET's set-centric processing operates on *sorted* adjacency lists:
+the order-aware SIU exploits exactly this property.  :class:`CSRGraph` is the
+canonical in-memory format for the whole library — undirected simple graphs
+stored as two NumPy arrays (``indptr``, ``indices``) with every neighbour row
+sorted ascending.
+
+The class also carries the address-space model used by the memory-hierarchy
+simulator: each vertex's neighbour list occupies a contiguous region of a
+flat 32-bit word address space, so a cache line of ``line_words`` words holds
+that many consecutive neighbour IDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["CSRGraph", "edges_to_csr"]
+
+
+def _as_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
+    arr = np.asarray(list(edges), dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError("edges must be an iterable of (u, v) pairs")
+    return arr
+
+
+def edges_to_csr(
+    num_vertices: int, edges: Iterable[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build sorted CSR arrays for an *undirected* simple graph.
+
+    Self-loops and duplicate edges are removed.  Returns ``(indptr, indices)``
+    where ``indptr`` has length ``num_vertices + 1``.
+    """
+    arr = _as_edge_array(edges)
+    if arr.size:
+        if arr.min() < 0 or arr.max() >= num_vertices:
+            raise GraphFormatError(
+                f"edge endpoint out of range [0, {num_vertices})"
+            )
+        arr = arr[arr[:, 0] != arr[:, 1]]  # drop self loops
+    if arr.size == 0:
+        return (
+            np.zeros(num_vertices + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int32),
+        )
+    # Symmetrize, then deduplicate via a packed 64-bit key.
+    both = np.concatenate([arr, arr[:, ::-1]], axis=0)
+    key = both[:, 0] * np.int64(num_vertices) + both[:, 1]
+    key = np.unique(key)
+    src = (key // num_vertices).astype(np.int64)
+    dst = (key % num_vertices).astype(np.int32)
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # keys were sorted by (src, dst) so dst is already row-sorted
+    return indptr, dst
+
+
+@dataclass
+class CSRGraph:
+    """An undirected simple graph in sorted-CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; row ``v`` spans
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int32`` array of neighbour IDs, sorted ascending within each row.
+    name:
+        Optional human-readable dataset name (used in reports).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    name: str = "graph"
+    #: base word address of the adjacency array in the simulated address space
+    base_address: int = 0x1000_0000
+    #: optional per-vertex labels (int array of length n) for labelled GPM
+    labels: np.ndarray | None = None
+    _degrees: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise GraphFormatError("indptr must be a 1-D array of length n+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphFormatError("indptr does not span indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.labels is not None:
+            self.labels = np.ascontiguousarray(self.labels, dtype=np.int64)
+            if self.labels.shape != (self.indptr.size - 1,):
+                raise GraphFormatError("labels must have one entry per vertex")
+        self._degrees = np.diff(self.indptr)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a graph from an undirected edge list (dedup + symmetrize)."""
+        indptr, indices = edges_to_csr(num_vertices, edges)
+        return cls(indptr=indptr, indices=indices, name=name)
+
+    @classmethod
+    def empty(cls, num_vertices: int, name: str = "empty") -> "CSRGraph":
+        """A graph with ``num_vertices`` isolated vertices."""
+        return cls(
+            indptr=np.zeros(num_vertices + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int32),
+            name=name,
+        )
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each stored twice in CSR)."""
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self._degrees
+
+    def degree(self, v: int) -> int:
+        return int(self._degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour row of ``v`` (a zero-copy view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < int(v):
+                    yield (u, int(v))
+
+    # -- address-space model ----------------------------------------------
+
+    def row_address(self, v: int) -> int:
+        """Word address of vertex ``v``'s neighbour row."""
+        return self.base_address + int(self.indptr[v])
+
+    def row_extent(self, v: int) -> tuple[int, int]:
+        """``(word address, length in words)`` of the neighbour row."""
+        return self.row_address(v), self.degree(v)
+
+    # -- transforms ---------------------------------------------------------
+
+    def with_labels(self, labels) -> "CSRGraph":
+        """Copy of this graph carrying per-vertex labels (shares arrays)."""
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            name=self.name,
+            base_address=self.base_address,
+            labels=np.asarray(labels, dtype=np.int64),
+        )
+
+    def label_of(self, v: int) -> int | None:
+        """Vertex ``v``'s label, or None for unlabelled graphs."""
+        if self.labels is None:
+            return None
+        return int(self.labels[v])
+
+    def relabeled_by_degree(self, descending: bool = True) -> "CSRGraph":
+        """Return an isomorphic copy with vertices relabelled by degree.
+
+        Degree-descending relabelling is the standard GPM preprocessing step:
+        symmetry-breaking restrictions of the form ``u_i < u_j`` then prune
+        high-degree vertices early, shrinking the search tree.
+        """
+        order = np.argsort(-self._degrees if descending else self._degrees,
+                           kind="stable")
+        rank = np.empty_like(order)
+        rank[order] = np.arange(self.num_vertices)
+        remapped = []
+        for new_id, old_id in enumerate(order):
+            for w in self.neighbors(int(old_id)):
+                nw = int(rank[int(w)])
+                if new_id < nw:
+                    remapped.append((new_id, nw))
+        out = CSRGraph.from_edges(self.num_vertices, remapped,
+                                  name=f"{self.name}-degsorted")
+        out.base_address = self.base_address
+        if self.labels is not None:
+            new_labels = np.empty_like(self.labels)
+            new_labels[rank] = self.labels
+            out.labels = new_labels
+        return out
+
+    def induced_subgraph(self, vertices: Sequence[int]) -> "CSRGraph":
+        """Induced subgraph on ``vertices`` with IDs compacted to 0..k-1."""
+        keep = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        rank = {int(v): i for i, v in enumerate(keep)}
+        edges = []
+        for u in keep:
+            for w in self.neighbors(int(u)):
+                w = int(w)
+                if w in rank and int(u) < w:
+                    edges.append((rank[int(u)], rank[w]))
+        return CSRGraph.from_edges(len(keep), edges,
+                                   name=f"{self.name}-induced")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges})"
+        )

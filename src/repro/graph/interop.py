@@ -1,0 +1,84 @@
+"""NetworkX interoperability.
+
+Downstream users usually hold their graphs as ``networkx.Graph`` objects;
+these converters move them in and out of the library's CSR representation
+(including vertex labels) without making the core depend on NetworkX — the
+import happens lazily and only here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env without networkx
+        raise GraphFormatError(
+            "networkx is required for graph interop (pip install networkx)"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph: "networkx.Graph",
+    label_attr: str | None = None,
+    name: str | None = None,
+) -> tuple[CSRGraph, dict[Hashable, int]]:
+    """Convert an undirected NetworkX graph to :class:`CSRGraph`.
+
+    Node identifiers may be arbitrary hashables; they are compacted to dense
+    IDs in sorted-as-string order.  Returns ``(graph, node_to_id)`` so
+    callers can translate embeddings back.  If ``label_attr`` is given, that
+    node attribute becomes the vertex label (values are interned to dense
+    integer label IDs).
+    """
+    nx = _require_networkx()
+    if nx_graph.is_directed():
+        raise GraphFormatError("only undirected graphs are supported")
+    nodes = sorted(nx_graph.nodes, key=str)
+    node_to_id = {node: i for i, node in enumerate(nodes)}
+    edges = [
+        (node_to_id[u], node_to_id[v]) for u, v in nx_graph.edges if u != v
+    ]
+    graph = CSRGraph.from_edges(
+        len(nodes), edges, name=name or str(nx_graph.name or "networkx")
+    )
+    if label_attr is not None:
+        values = [nx_graph.nodes[node].get(label_attr) for node in nodes]
+        interned: dict[Hashable, int] = {}
+        labels = np.empty(len(nodes), dtype=np.int64)
+        for i, value in enumerate(values):
+            labels[i] = interned.setdefault(value, len(interned))
+        graph = graph.with_labels(labels)
+    return graph, node_to_id
+
+
+def to_networkx(
+    graph: CSRGraph, label_attr: str | None = None
+) -> "networkx.Graph":
+    """Convert a :class:`CSRGraph` to ``networkx.Graph``.
+
+    Labels (if present) are attached as the ``label_attr`` node attribute
+    (default attribute name ``"label"``).
+    """
+    nx = _require_networkx()
+    out = nx.Graph(name=graph.name)
+    out.add_nodes_from(range(graph.num_vertices))
+    out.add_edges_from(graph.edges())
+    if graph.labels is not None:
+        attr = label_attr or "label"
+        for v in range(graph.num_vertices):
+            out.nodes[v][attr] = int(graph.labels[v])
+    return out

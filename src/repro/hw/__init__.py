@@ -1,0 +1,22 @@
+"""Hardware area/power models (28 nm) and the Table-1 theory comparison."""
+
+from .energy import EnergyReport, estimate_energy
+from .area import (
+    THEORY_TABLE,
+    AreaPower,
+    pe_area_breakdown,
+    scheduler_area_power,
+    siu_area_power,
+    theory_table_rows,
+)
+
+__all__ = [
+    "EnergyReport",
+    "THEORY_TABLE",
+    "estimate_energy",
+    "AreaPower",
+    "pe_area_breakdown",
+    "scheduler_area_power",
+    "siu_area_power",
+    "theory_table_rows",
+]

@@ -1,0 +1,201 @@
+"""Component-count area/power model for SIUs, scheduler and PE (28 nm, 1 GHz).
+
+Stands in for the paper's Synopsys DC + TSMC 28 nm synthesis flow.  Every
+estimate is built from microarchitectural component counts — comparators,
+pipeline registers, FIFO/SRAM bits — which we know exactly for each SIU
+design, times per-component area/energy constants calibrated against the
+paper's published numbers (Table 4: compute 0.077 mm² for 4 order-aware
+SIUs at N=8, scheduler 0.044 mm², total PE 0.305 mm²).  The *relative*
+numbers across designs and segment widths (Figure 15) follow from the
+counts: ``N log N`` versus ``N²``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..memory.cacti import estimate_sram
+
+__all__ = [
+    "AreaPower",
+    "siu_area_power",
+    "scheduler_area_power",
+    "pe_area_breakdown",
+    "THEORY_TABLE",
+    "theory_table_rows",
+]
+
+# -- calibrated 28 nm component constants -------------------------------------
+#: mm² per comparator-equivalent datapath slice — a 32-bit compare plus its
+#: share of CAS muxing, match-flag logic and BitmapCSR combine (calibrated so
+#: 4 order-aware SIUs at N=8 synthesise to the paper's 0.077 mm²)
+AREA_COMPARATOR_MM2 = 5.5e-4
+#: mm² per pipeline register bit (flip-flop + clocking overhead)
+AREA_REGBIT_MM2 = 8.0e-7
+#: mm² per FIFO/SRAM buffer bit
+AREA_FIFOBIT_MM2 = 6.0e-7
+#: fixed systolic-array timing/control block, in comparator-equivalents
+SMA_CONTROL_SLICES = 5.0
+#: weight of a compact-stage latch/mux relative to a comparator slice
+COMPACT_WEIGHT = 0.25
+#: dynamic power per active comparator slice at 1 GHz full toggle (mW)
+POWER_COMPARATOR_MW = 0.030
+#: dynamic power per active register bit (mW)
+POWER_REGBIT_MW = 3.2e-5
+#: leakage per mm² (mW)
+POWER_LEAKAGE_MW_PER_MM2 = 9.0
+
+ELEMENT_BITS = 32
+INPUT_FIFO_DEPTH = 4
+
+
+@dataclass(frozen=True)
+class AreaPower:
+    """Area (mm²) and power (mW) broken into the Figure 15 categories."""
+
+    input_mm2: float
+    pipeline_mm2: float
+    output_mm2: float
+    input_mw: float
+    pipeline_mw: float
+    output_mw: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.input_mm2 + self.pipeline_mm2 + self.output_mm2
+
+    @property
+    def total_mw(self) -> float:
+        return self.input_mw + self.pipeline_mw + self.output_mw
+
+
+def _siu_components(kind: str, n: int) -> tuple[float, float]:
+    """(comparator-equivalents, pipeline register bits) of the core pipeline."""
+    if kind == "merge":
+        return 1.5, ELEMENT_BITS * 4          # one comparator + few registers
+    if n < 2 or n & (n - 1):
+        raise ConfigError("segment width must be a power of two >= 2")
+    log_n = int(math.log2(n))
+    if kind == "order-aware":
+        comparators = n + (n // 2) * log_n + 1
+        compactors = COMPACT_WEIGHT * n * log_n   # tree reducer muxes
+        stages = 2 + 2 * log_n
+        regbits = ELEMENT_BITS * n * stages
+        return comparators + compactors, regbits
+    if kind == "sma":
+        comparators = n * n + SMA_CONTROL_SLICES
+        compactors = COMPACT_WEIGHT * (n * n / 2)  # output compact triangle
+        stages = 2 * n
+        regbits = ELEMENT_BITS * n * stages
+        return comparators + compactors, regbits
+    raise ConfigError(f"unknown SIU kind {kind!r}")
+
+
+def siu_area_power(kind: str, segment_width: int) -> AreaPower:
+    """Area/power of one SIU, split input / pipeline / output (Figure 15)."""
+    n = segment_width if kind != "merge" else 1
+    cmp_eq, regbits = _siu_components(kind, max(n, 2))
+    # input: 2 sets × N FIFOs × depth × 32b (double-buffered)
+    in_bits = 2 * max(n, 1) * INPUT_FIFO_DEPTH * ELEMENT_BITS * 2
+    # output: 2N-entry circular buffer, double-buffered
+    out_bits = 2 * max(n, 1) * ELEMENT_BITS * 2
+    input_mm2 = in_bits * AREA_FIFOBIT_MM2
+    output_mm2 = out_bits * AREA_FIFOBIT_MM2
+    pipeline_mm2 = cmp_eq * AREA_COMPARATOR_MM2 + regbits * AREA_REGBIT_MM2
+    # dynamic power assumes full-throughput operation; leakage tracks area
+    input_mw = in_bits * POWER_REGBIT_MW + POWER_LEAKAGE_MW_PER_MM2 * input_mm2
+    output_mw = (
+        out_bits * POWER_REGBIT_MW + POWER_LEAKAGE_MW_PER_MM2 * output_mm2
+    )
+    pipeline_mw = (
+        cmp_eq * POWER_COMPARATOR_MW
+        + regbits * POWER_REGBIT_MW
+        + POWER_LEAKAGE_MW_PER_MM2 * pipeline_mm2
+    )
+    return AreaPower(
+        input_mm2=input_mm2,
+        pipeline_mm2=pipeline_mm2,
+        output_mm2=output_mm2,
+        input_mw=input_mw,
+        pipeline_mw=pipeline_mw,
+        output_mw=output_mw,
+    )
+
+
+def scheduler_area_power(
+    num_task_sets: int = 96, task_set_width: int = 4, cbuf_entries: int = 48
+) -> tuple[float, float]:
+    """(mm², mW) of the barrier-free scheduler storage + control.
+
+    Each Task Set holds a frame, a fast-spawning register, per-subtask
+    status and a candidate-buffer index (Figure 10b); each CBuf item holds
+    address/length metadata plus a ping-pong segment buffer (Figure 10c).
+    """
+    task_set_bits = (
+        64                       # frame: intermediate set addr/len + vertex
+        + ELEMENT_BITS           # FSR
+        + 8                      # CBuf index + valid
+        + task_set_width * (ELEMENT_BITS + 8)
+    )
+    cbuf_bits = 64 + 2 * 8 * ELEMENT_BITS  # metadata + ping-pong of 8 words
+    bits = num_task_sets * task_set_bits + cbuf_entries * cbuf_bits
+    control_mm2 = 0.012  # issue/commit logic, fixed
+    area = bits * AREA_FIFOBIT_MM2 + control_mm2
+    power = bits * POWER_REGBIT_MW * 0.25 + POWER_LEAKAGE_MW_PER_MM2 * area
+    return area, power
+
+
+def pe_area_breakdown(
+    siu_kind: str = "order-aware",
+    segment_width: int = 8,
+    sius_per_pe: int = 4,
+    private_kb: int = 32,
+    num_task_sets: int = 96,
+    task_set_width: int = 4,
+) -> dict[str, float]:
+    """Table-4-style PE area breakdown in mm² (28 nm)."""
+    siu = siu_area_power(siu_kind, segment_width)
+    compute = sius_per_pe * siu.total_mm2
+    control, _ = scheduler_area_power(num_task_sets, task_set_width)
+    cache = estimate_sram(private_kb * 1024).area_mm2
+    other = 0.010  # memory requester + RoCC glue
+    return {
+        "control": control,
+        "compute": compute,
+        "cache": cache,
+        "other": other,
+        "total": control + compute + cache + other,
+    }
+
+
+#: Table 1 rows: (architecture, throughput, latency, comparators) as formulas
+THEORY_TABLE = (
+    ("Merge Queue", "1", "O(1)", "O(1)"),
+    ("Systolic Array", "N", "O(N)", "O(N^2)"),
+    ("Order-Aware (ours)", "N", "O(log N)", "O(N log N)"),
+)
+
+
+def theory_table_rows(segment_width: int = 8) -> list[dict[str, object]]:
+    """Table 1 with concrete numbers for a given ``N`` next to the formulas."""
+    from ..siu.models import make_siu
+
+    rows = []
+    for kind, (label, thr, lat, res) in zip(
+        ("merge", "sma", "order-aware"), THEORY_TABLE
+    ):
+        model = make_siu(kind, segment_width if kind != "merge" else 1)
+        rows.append(
+            {
+                "architecture": label,
+                "throughput": thr,
+                "latency": lat,
+                "resource": res,
+                "throughput_n": model.throughput,
+                "latency_n": model.pipeline_depth,
+                "comparators_n": model.comparator_count,
+            }
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Workload energy model: joins the power model with simulation reports.
+
+Dynamic energy is driven by the activity counters the simulator already
+collects (comparator operations, words streamed through each memory level,
+DRAM traffic); static energy is leakage power times the makespan.  This
+gives the energy-per-embedding and energy-breakdown views an accelerator
+paper's artifact typically ships alongside the area numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import SystemConfig
+from ..memory.cacti import estimate_sram
+from ..sim.report import SimReport
+from .area import POWER_COMPARATOR_MW, pe_area_breakdown
+
+__all__ = ["EnergyReport", "estimate_energy"]
+
+#: energy per 64-byte DRAM transfer (pJ) — DDR4 ballpark at ~20 pJ/bit I/O
+DRAM_PJ_PER_LINE = 2200.0
+#: energy per comparator operation (pJ) at 1 GHz: P[mW] × 1ns = pJ
+COMPARATOR_PJ = POWER_COMPARATOR_MW  # numerically equal at 1 GHz
+#: leakage density (mW per mm², matches repro.hw.area)
+LEAKAGE_MW_PER_MM2 = 9.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one simulated run (all values in microjoules)."""
+
+    compute_uj: float
+    private_cache_uj: float
+    shared_cache_uj: float
+    dram_uj: float
+    leakage_uj: float
+    embeddings: int
+
+    @property
+    def total_uj(self) -> float:
+        return (
+            self.compute_uj
+            + self.private_cache_uj
+            + self.shared_cache_uj
+            + self.dram_uj
+            + self.leakage_uj
+        )
+
+    @property
+    def nj_per_embedding(self) -> float:
+        if self.embeddings == 0:
+            return float("inf")
+        return self.total_uj * 1e3 / self.embeddings
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "compute": self.compute_uj,
+            "private$": self.private_cache_uj,
+            "shared$": self.shared_cache_uj,
+            "dram": self.dram_uj,
+            "leakage": self.leakage_uj,
+        }
+
+
+def estimate_energy(
+    report: SimReport, config: SystemConfig
+) -> EnergyReport:
+    """Energy of a simulated run under ``config``'s hardware parameters."""
+    # datapath: one comparator-op costs COMPARATOR_PJ
+    pj_compute = report.comparisons * COMPARATOR_PJ
+
+    priv = estimate_sram(config.private_kb * 1024)
+    shared = estimate_sram(int(config.shared_mb * 1024 * 1024))
+    priv_accesses = report.private_hits + report.private_misses
+    shared_accesses = report.shared_hits + report.shared_misses
+    pj_private = priv_accesses * priv.dynamic_pj_per_access
+    pj_shared = shared_accesses * shared.dynamic_pj_per_access
+    pj_dram = (report.dram_bytes / 64.0) * DRAM_PJ_PER_LINE
+
+    # leakage: PE area × PE count × makespan (cycles ≈ ns at 1 GHz)
+    pe_mm2 = pe_area_breakdown(
+        siu_kind=config.siu_kind,
+        segment_width=max(config.segment_width, 2),
+        sius_per_pe=config.sius_per_pe,
+        private_kb=config.private_kb,
+        num_task_sets=config.num_task_sets,
+        task_set_width=config.task_set_width,
+    )["total"]
+    leak_mw = LEAKAGE_MW_PER_MM2 * pe_mm2 * config.num_pes
+    pj_leak = leak_mw * (report.cycles / config.frequency_ghz)  # mW × ns = pJ
+
+    return EnergyReport(
+        compute_uj=pj_compute * 1e-6,
+        private_cache_uj=pj_private * 1e-6,
+        shared_cache_uj=pj_shared * 1e-6,
+        dram_uj=pj_dram * 1e-6,
+        leakage_uj=pj_leak * 1e-6,
+        embeddings=report.embeddings,
+    )

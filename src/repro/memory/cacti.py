@@ -1,0 +1,68 @@
+"""CACTI-lite: analytical SRAM area / power / latency model.
+
+Plays the role CACTI 7 plays in the paper's methodology — turning cache
+geometry into area, access energy and latency.  The model uses standard
+scaling exponents (area slightly super-linear in capacity due to peripheral
+overhead amortisation, latency ~ sqrt of capacity) and is *calibrated* so
+the paper's two anchor points hold at 28 nm: a 32 KB 4-way private cache at
+≈0.174 mm² per PE (Table 4) and shared-cache latencies in the tens of
+cycles.  Trends across the Figure 18 sweeps come from the exponents, not
+the calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["SRAMEstimate", "estimate_sram"]
+
+# Calibration anchors (28 nm):
+_AREA_ANCHOR_BYTES = 32 * 1024
+_AREA_ANCHOR_MM2 = 0.174     # Table 4 "Cache" column for our PE
+_AREA_EXPONENT = 0.92        # capacity scaling of SRAM macro area
+_LEAKAGE_MW_PER_MM2 = 12.0   # static power density
+_DYN_PJ_ANCHOR = 18.0        # energy per 64B access at the anchor size
+_DYN_EXPONENT = 0.55
+
+
+@dataclass(frozen=True)
+class SRAMEstimate:
+    """Area/power/latency estimate for one SRAM array."""
+
+    size_bytes: int
+    area_mm2: float
+    access_latency_cycles: int
+    dynamic_pj_per_access: float
+    leakage_mw: float
+
+
+def estimate_sram(
+    size_bytes: int, ways: int = 4, banks: int = 4
+) -> SRAMEstimate:
+    """Estimate a banked set-associative SRAM at 28 nm / 1 GHz.
+
+    ``ways`` adds tag/peripheral overhead; ``banks`` shortens wordlines
+    (slightly faster) at a small area premium.
+    """
+    if size_bytes <= 0:
+        raise ConfigError("size_bytes must be positive")
+    rel = size_bytes / _AREA_ANCHOR_BYTES
+    way_overhead = 1.0 + 0.015 * max(ways - 4, 0)
+    bank_overhead = 1.0 + 0.02 * max(banks - 4, 0)
+    area = _AREA_ANCHOR_MM2 * rel**_AREA_EXPONENT * way_overhead * bank_overhead
+    # latency ~ wire delay across one bank; pipelined arrays flatten the
+    # growth to ~capacity^0.25 (large caches add pipeline stages, not
+    # proportional wire delay)
+    bank_bytes = size_bytes / banks
+    latency = max(2, int(round(2.2 * (bank_bytes / 1024) ** 0.25)))
+    dyn = _DYN_PJ_ANCHOR * rel**_DYN_EXPONENT
+    return SRAMEstimate(
+        size_bytes=size_bytes,
+        area_mm2=area,
+        access_latency_cycles=latency,
+        dynamic_pj_per_access=dyn,
+        leakage_mw=_LEAKAGE_MW_PER_MM2 * area,
+    )

@@ -1,0 +1,199 @@
+"""Private-cache / shared-cache / DRAM hierarchy used by the simulator.
+
+Per Figure 5: every PE owns a private cache holding graph data and
+intermediate candidate sets; all PEs share one banked cache in front of
+DRAM.  The hierarchy exposes *stream* operations because the SIUs consume
+and produce whole neighbour sets: a stream touches a line range, probes each
+level functionally (real LRU state), and reports two quantities the SIU cost
+model combines —
+
+``first_latency``
+    cycles until the first words arrive (fills the pipeline), and
+``stream_cycles``
+    occupancy cycles for the remainder, i.e. the bandwidth-limited service
+    time of bank conflicts, shared-cache refills and DRAM transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MemoryModelError
+from .cache import WORDS_PER_LINE, CacheConfig, CacheModel
+from .cacti import estimate_sram
+from .dram import DRAMConfig, DRAMModel
+
+__all__ = ["MemoryConfig", "StreamResult", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry of the full memory subsystem (paper Table 2 defaults)."""
+
+    num_pes: int = 16
+    private_kb: int = 32
+    private_ways: int = 4
+    private_banks: int = 4
+    shared_mb: float = 4.0
+    shared_ways: int = 8
+    shared_banks: int = 8
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def private_config(self, pe: int) -> CacheConfig:
+        lat = estimate_sram(
+            self.private_kb * 1024, self.private_ways, self.private_banks
+        ).access_latency_cycles
+        return CacheConfig(
+            size_bytes=self.private_kb * 1024,
+            ways=self.private_ways,
+            banks=self.private_banks,
+            hit_latency=lat,
+            name=f"private{pe}",
+        )
+
+    def shared_config(self) -> CacheConfig:
+        lat = estimate_sram(
+            int(self.shared_mb * 1024 * 1024),
+            self.shared_ways,
+            self.shared_banks,
+        ).access_latency_cycles
+        return CacheConfig(
+            size_bytes=int(self.shared_mb * 1024 * 1024),
+            ways=self.shared_ways,
+            banks=self.shared_banks,
+            hit_latency=lat,
+            name="shared",
+        )
+
+
+@dataclass
+class StreamResult:
+    """Timing/traffic outcome of one stream access."""
+
+    first_latency: float
+    stream_cycles: float
+    lines: int
+    private_misses: int
+    shared_misses: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.first_latency + self.stream_cycles
+
+
+class MemoryHierarchy:
+    """Functional-state memory hierarchy shared by all PEs."""
+
+    def __init__(self, config: MemoryConfig | None = None) -> None:
+        self.config = config or MemoryConfig()
+        self.private = [
+            CacheModel(self.config.private_config(pe))
+            for pe in range(self.config.num_pes)
+        ]
+        self.shared = CacheModel(self.config.shared_config())
+        self.dram = DRAMModel(self.config.dram)
+        # bump allocator for intermediate-set buffers (word addresses),
+        # placed far above the graph region
+        self._scratch_next = [
+            0x8000_0000 + pe * 0x0400_0000 for pe in range(self.config.num_pes)
+        ]
+        # per-bank port availability of the shared cache (PE contention)
+        self._shared_bank_busy = [0.0] * self.shared.config.banks
+
+    # -- scratch allocation -------------------------------------------------
+
+    def allocate_scratch(self, pe: int, n_words: int) -> int:
+        """Reserve a private buffer for an intermediate candidate set."""
+        if not 0 <= pe < self.config.num_pes:
+            raise MemoryModelError(f"PE {pe} out of range")
+        addr = self._scratch_next[pe]
+        self._scratch_next[pe] += max(n_words, 1)
+        return addr
+
+    # -- streams --------------------------------------------------------------
+
+    def _line_range(self, addr_words: int, n_words: int) -> range:
+        if n_words <= 0:
+            return range(0)
+        first = addr_words // WORDS_PER_LINE
+        last = (addr_words + n_words - 1) // WORDS_PER_LINE
+        return range(first, last + 1)
+
+    def stream_read(
+        self, now: float, pe: int, addr_words: int, n_words: int
+    ) -> StreamResult:
+        """Read ``n_words`` starting at ``addr_words`` through PE ``pe``."""
+        priv = self.private[pe]
+        lines = self._line_range(addr_words, n_words)
+        n_lines = len(lines)
+        if n_lines == 0:
+            return StreamResult(0.0, 0.0, 0, 0, 0)
+        private_misses = 0
+        shared_misses = 0
+        first_latency = float(priv.config.hit_latency)
+        dram_finish = now
+        shared_queue = 0.0
+        for i, line in enumerate(lines):
+            if priv.access_line(line):
+                continue
+            private_misses += 1
+            # shared-cache bank port contention between PEs: each refill
+            # occupies its bank for one cycle
+            bank = line % self.shared.config.banks
+            wait = max(self._shared_bank_busy[bank] - now, 0.0)
+            self._shared_bank_busy[bank] = now + wait + 1.0
+            shared_queue = max(shared_queue, wait)
+            if self.shared.access_line(line):
+                if i == 0:
+                    first_latency += self.shared.config.hit_latency + wait
+                continue
+            shared_misses += 1
+            finish = self.dram.request_line(now, line)
+            dram_finish = max(dram_finish, finish)
+            if i == 0:
+                first_latency += self.shared.config.hit_latency + wait + (
+                    finish - now
+                )
+        # Bandwidth-limited occupancy: bank throughput at each level plus
+        # DRAM bus time already folded into dram_finish.
+        bank_cycles = priv.stream_bank_cycles(n_lines)
+        shared_cycles = (
+            self.shared.stream_bank_cycles(private_misses)
+            if private_misses
+            else 0
+        )
+        dram_cycles = max(dram_finish - now - first_latency, 0.0)
+        stream_cycles = float(
+            max(bank_cycles, shared_cycles, dram_cycles, shared_queue)
+        )
+        return StreamResult(
+            first_latency=first_latency,
+            stream_cycles=stream_cycles,
+            lines=n_lines,
+            private_misses=private_misses,
+            shared_misses=shared_misses,
+        )
+
+    def stream_write(
+        self, now: float, pe: int, addr_words: int, n_words: int
+    ) -> StreamResult:
+        """Write an intermediate set; allocates into the private cache."""
+        priv = self.private[pe]
+        lines = self._line_range(addr_words, n_words)
+        for line in lines:
+            priv.access_line(line)  # write-allocate
+        n_lines = len(lines)
+        return StreamResult(
+            first_latency=0.0,
+            stream_cycles=float(priv.stream_bank_cycles(n_lines)),
+            lines=n_lines,
+            private_misses=0,
+            shared_misses=0,
+        )
+
+    def reset(self) -> None:
+        for c in self.private:
+            c.reset()
+        self.shared.reset()
+        self.dram.reset()
+        self._shared_bank_busy = [0.0] * self.shared.config.banks

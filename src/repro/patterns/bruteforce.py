@@ -1,0 +1,65 @@
+"""Brute-force embedding counting — the independent test oracle.
+
+A direct backtracking matcher with none of the plan machinery: it tries all
+injective vertex mappings that preserve pattern edges (and, in induced mode,
+pattern non-edges).  Dividing the labelled count by ``|Aut(P)|`` gives the
+number of distinct subgraphs, which must equal what plans + restrictions
+produce.  Only suitable for small graphs; tests use it on graphs of tens of
+vertices.
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from .pattern import Pattern
+
+__all__ = ["count_labeled_embeddings", "count_unique_embeddings"]
+
+
+def count_labeled_embeddings(
+    graph: CSRGraph, pattern: Pattern, induced: bool = False
+) -> int:
+    """Count injective mappings ``V(P) → V(G)`` preserving (non-)edges."""
+    k = pattern.num_vertices
+    n = graph.num_vertices
+    adj = [set(int(w) for w in graph.neighbors(v)) for v in range(n)]
+    mapping = [-1] * k
+    used = [False] * n
+
+    def ok(pv: int, gv: int) -> bool:
+        if pattern.labels is not None and graph.labels is not None:
+            if int(graph.labels[gv]) != pattern.labels[pv]:
+                return False
+        for prev in range(pv):
+            has = mapping[prev] in adj[gv]
+            wants = pattern.adjacent(prev, pv)
+            if wants and not has:
+                return False
+            if induced and not wants and has:
+                return False
+        return True
+
+    def recurse(pv: int) -> int:
+        if pv == k:
+            return 1
+        total = 0
+        for gv in range(n):
+            if used[gv] or not ok(pv, gv):
+                continue
+            mapping[pv] = gv
+            used[gv] = True
+            total += recurse(pv + 1)
+            used[gv] = False
+        return total
+
+    return recurse(0)
+
+
+def count_unique_embeddings(
+    graph: CSRGraph, pattern: Pattern, induced: bool = False
+) -> int:
+    """Distinct (automorphism-deduplicated) embeddings of ``pattern``."""
+    labeled = count_labeled_embeddings(graph, pattern, induced)
+    aut = pattern.automorphism_count()
+    assert labeled % aut == 0, "labelled count must divide by |Aut|"
+    return labeled // aut

@@ -1,0 +1,211 @@
+"""Task-list code generation: matching plan → X-SET hardware program.
+
+Paper §4.2 step ②: the matching plan is "transformed into an executable
+task list" whose entries name a set operation, its operands, the
+symmetry-breaking filter and the count-only flag — the dispatcher decodes
+exactly this record in Figure 10e (``R[0] <- set_int S0, G[v1], filter=v1,
+count_only``).  This module compiles a :class:`MatchingPlan` into that task
+list, renders it in the paper's textual form, and packs/unpacks a 64-bit
+binary encoding of each entry (what ``xset_config`` would actually DMA into
+the PE).
+
+Encoding layout (LSB first):
+
+====== ======= ==========================================================
+bits    field   meaning
+====== ======= ==========================================================
+0-2     opcode  0 load, 1 set_int, 2 set_diff
+3-6     src_a   source A: 0-7 stored set S_k, 8-14 neighbour N(u_p)+8
+7-10    src_b   source B, same encoding (15 = none)
+11-14   flt_lt  position whose vertex upper-bounds candidates (15 = none)
+15-18   flt_gt  position whose vertex lower-bounds candidates (15 = none)
+19      count   count-only (no spawn)
+20      store   store result for descendant reuse
+21-24   level   plan level this op belongs to
+====== ======= ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+from .plan import MatchingPlan
+
+__all__ = ["TaskOp", "compile_task_list", "render_task_list",
+           "encode_task_op", "decode_task_op"]
+
+_NONE = 15
+_OPCODES = {"load": 0, "set_int": 1, "set_diff": 2}
+_OPNAMES = {v: k for k, v in _OPCODES.items()}
+
+
+@dataclass(frozen=True)
+class TaskOp:
+    """One entry of the hardware task list."""
+
+    level: int
+    opcode: str                  # "load" | "set_int" | "set_diff"
+    src_a: tuple[str, int]       # ("S", level) or ("N", position)
+    src_b: tuple[str, int] | None
+    filter_lt: int | None        # candidates < u[position]
+    filter_gt: int | None        # candidates > u[position]
+    count_only: bool
+    store: bool
+
+    def render(self) -> str:
+        """The paper's Figure-10e textual form."""
+
+        def src(ref: tuple[str, int]) -> str:
+            kind, idx = ref
+            return f"S{idx}" if kind == "S" else f"G[u{idx}]"
+
+        parts = [f"R[{self.level}] <- {self.opcode} {src(self.src_a)}"]
+        if self.src_b is not None:
+            parts.append(f", {src(self.src_b)}")
+        if self.filter_lt is not None:
+            parts.append(f", filter<u{self.filter_lt}")
+        if self.filter_gt is not None:
+            parts.append(f", filter>u{self.filter_gt}")
+        if self.count_only:
+            parts.append(", count_only")
+        if self.store:
+            parts.append(", store")
+        return "".join(parts)
+
+
+def compile_task_list(plan: MatchingPlan) -> list[TaskOp]:
+    """Compile every plan level into its hardware operations."""
+    stop_level = {
+        "enumerate": plan.depth - 1,
+        "count_last": plan.depth - 1,
+        "choose2": plan.depth - 2,
+    }[plan.collection]
+    ops: list[TaskOp] = []
+    for lv in plan.levels[1 : stop_level + 1]:
+        is_leaf = lv.position == stop_level
+        # the hardware filter carries one bound register; under chained
+        # restrictions the latest bounding position holds the tightest value
+        flt_lt = max(lv.upper_bounds) if lv.upper_bounds else None
+        flt_gt = min(lv.lower_bounds) if lv.lower_bounds else None
+        store = not is_leaf
+        if lv.reuse_from is not None:
+            ops.append(
+                TaskOp(
+                    level=lv.position,
+                    opcode="load",
+                    src_a=("S", lv.reuse_from),
+                    src_b=None,
+                    filter_lt=flt_lt,
+                    filter_gt=flt_gt,
+                    count_only=is_leaf,
+                    store=store,
+                )
+            )
+            continue
+        if lv.base is not None:
+            src: tuple[str, int] = ("S", lv.base)
+            chain = [("set_int", p) for p in lv.extra_deps] + [
+                ("set_diff", p) for p in lv.extra_anti
+            ]
+        else:
+            src = ("N", lv.deps[0])
+            chain = [("set_int", p) for p in lv.deps[1:]] + [
+                ("set_diff", p) for p in lv.anti_deps
+            ]
+        if not chain:
+            ops.append(
+                TaskOp(
+                    level=lv.position,
+                    opcode="load",
+                    src_a=src,
+                    src_b=None,
+                    filter_lt=flt_lt,
+                    filter_gt=flt_gt,
+                    count_only=is_leaf,
+                    store=store,
+                )
+            )
+            continue
+        for i, (opcode, p) in enumerate(chain):
+            last = i == len(chain) - 1
+            ops.append(
+                TaskOp(
+                    level=lv.position,
+                    opcode=opcode,
+                    src_a=src if i == 0 else ("S", lv.position),
+                    src_b=("N", p),
+                    filter_lt=flt_lt if last else None,
+                    filter_gt=flt_gt if last else None,
+                    count_only=is_leaf and last,
+                    store=store and last,
+                )
+            )
+    return ops
+
+
+def render_task_list(plan: MatchingPlan) -> str:
+    """Full textual task list with a Figure-7a-style preamble."""
+    lines = [
+        f"; task list for pattern {plan.pattern.name} "
+        f"({plan.collection} collection)",
+        "xset_config GRAPH_BASE, CSR",
+        f"xset_config TASKLIST, {len(compile_task_list(plan))} entries",
+    ]
+    lines += ["  " + op.render() for op in compile_task_list(plan)]
+    lines.append("xset_run MAX_VERTEX")
+    lines.append("xset_poll RESULT")
+    return "\n".join(lines)
+
+
+def _encode_src(ref: tuple[str, int] | None) -> int:
+    if ref is None:
+        return _NONE
+    kind, idx = ref
+    if kind == "S":
+        if not 0 <= idx < 8:
+            raise PlanError(f"stored-set index {idx} out of range")
+        return idx
+    if not 0 <= idx < 7:
+        raise PlanError(f"neighbour position {idx} out of range")
+    return idx + 8
+
+
+def _decode_src(value: int) -> tuple[str, int] | None:
+    if value == _NONE:
+        return None
+    if value < 8:
+        return ("S", value)
+    return ("N", value - 8)
+
+
+def encode_task_op(op: TaskOp) -> int:
+    """Pack one task-list entry into its 64-bit configuration word."""
+    word = _OPCODES[op.opcode]
+    word |= _encode_src(op.src_a) << 3
+    word |= _encode_src(op.src_b) << 7
+    word |= (op.filter_lt if op.filter_lt is not None else _NONE) << 11
+    word |= (op.filter_gt if op.filter_gt is not None else _NONE) << 15
+    word |= int(op.count_only) << 19
+    word |= int(op.store) << 20
+    word |= op.level << 21
+    return word
+
+
+def decode_task_op(word: int) -> TaskOp:
+    """Inverse of :func:`encode_task_op`."""
+    src_a = _decode_src((word >> 3) & 0xF)
+    if src_a is None:
+        raise PlanError("task op must have a source A")
+    flt_lt = (word >> 11) & 0xF
+    flt_gt = (word >> 15) & 0xF
+    return TaskOp(
+        level=(word >> 21) & 0xF,
+        opcode=_OPNAMES[word & 0x7],
+        src_a=src_a,
+        src_b=_decode_src((word >> 7) & 0xF),
+        filter_lt=None if flt_lt == _NONE else flt_lt,
+        filter_gt=None if flt_gt == _NONE else flt_gt,
+        count_only=bool((word >> 19) & 1),
+        store=bool((word >> 20) & 1),
+    )

@@ -1,0 +1,199 @@
+"""Software reference executor for matching plans.
+
+This is the set-centric DFS algorithm of Figure 1c run directly on NumPy —
+the functional ground truth the hardware simulator is cross-validated
+against, and the operation-count collector the CPU baseline cost models are
+built on.  It is deliberately independent of the simulator's task machinery
+so that agreement between the two is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import PlanError
+from ..graph.csr import CSRGraph
+from ..setops.reference import (
+    difference_sorted,
+    intersect_sorted,
+    merge_comparison_count,
+)
+from .plan import MatchingPlan
+
+__all__ = ["ExecutionStats", "apply_filters", "count_embeddings", "enumerate_embeddings"]
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate set-operation statistics of one plan execution.
+
+    These aggregates feed the CPU/GPU baseline cost models: CPU merge
+    intersection work is proportional to ``merge_comparisons``; memory
+    traffic is proportional to ``words_in``/``words_out``.
+    """
+
+    embeddings: int = 0
+    intersections: int = 0
+    differences: int = 0
+    words_in: int = 0
+    words_out: int = 0
+    merge_comparisons: int = 0
+    tasks: int = 0
+    max_set_len: int = 0
+    per_level_tasks: list[int] = field(default_factory=list)
+
+    def record(self, kind: str, len_a: int, len_b: int, len_out: int) -> None:
+        if kind == "set_int":
+            self.intersections += 1
+            common = len_out
+        else:
+            self.differences += 1
+            common = len_a - len_out
+        self.words_in += len_a + len_b
+        self.words_out += len_out
+        self.merge_comparisons += merge_comparison_count(len_a, len_b, common)
+        if len_out > self.max_set_len:
+            self.max_set_len = len_out
+
+
+def apply_filters(
+    s: np.ndarray,
+    level,
+    embedding: list[int],
+    vertex_labels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply bounds, distinctness exclusion and label constraints."""
+    if level.upper_bounds:
+        bound = min(embedding[p] for p in level.upper_bounds)
+        s = s[: s.searchsorted(bound)]
+    if level.lower_bounds:
+        bound = max(embedding[p] for p in level.lower_bounds)
+        s = s[s.searchsorted(bound, side="right") :]
+    if level.exclude and s.size:
+        drop = [embedding[p] for p in level.exclude]
+        mask = np.isin(s, drop, invert=True, assume_unique=True)
+        if not mask.all():
+            s = s[mask]
+    if level.label is not None and vertex_labels is not None and s.size:
+        s = s[vertex_labels[s] == level.label]
+    return s
+
+
+def _run(
+    graph: CSRGraph, plan: MatchingPlan, stats: ExecutionStats
+) -> Iterator[tuple[int, ...]]:
+    """Depth-first plan execution; yields embeddings in ``enumerate`` mode."""
+    levels = plan.levels
+    depth = plan.depth
+    collection = plan.collection
+    stop_level = {
+        "enumerate": depth - 1,
+        "count_last": depth - 1,
+        "choose2": depth - 2,
+    }[collection]
+    if stop_level < 1:
+        raise PlanError("plan too shallow for its collection mode")
+    embedding = [0] * depth
+    stored: list[np.ndarray | None] = [None] * depth
+    stats.per_level_tasks = [0] * depth
+    neighbors = graph.neighbors
+    vertex_labels = graph.labels
+    root_label = levels[0].label
+
+    def candidates(i: int) -> np.ndarray:
+        lv = levels[i]
+        if lv.reuse_from is not None:
+            base = stored[lv.reuse_from]
+            assert base is not None
+            return base
+        if lv.base is not None:
+            s = stored[lv.base]
+            assert s is not None
+            intersect_with = lv.extra_deps
+            subtract = lv.extra_anti
+        else:
+            s = neighbors(embedding[lv.deps[0]])
+            intersect_with = lv.deps[1:]
+            subtract = lv.anti_deps
+        for p in intersect_with:
+            other = neighbors(embedding[p])
+            out = intersect_sorted(s, other)
+            stats.record("set_int", int(s.size), int(other.size),
+                         int(out.size))
+            s = out
+        for p in subtract:
+            other = neighbors(embedding[p])
+            out = difference_sorted(s, other)
+            stats.record("set_diff", int(s.size), int(other.size),
+                         int(out.size))
+            s = out
+        return s
+
+    def recurse(i: int) -> Iterator[tuple[int, ...]]:
+        stats.tasks += 1
+        stats.per_level_tasks[i - 1] += 1
+        raw = candidates(i)
+        stored[i] = raw
+        filt = apply_filters(raw, levels[i], embedding, vertex_labels)
+        if i == stop_level:
+            if collection == "enumerate":
+                for v in filt:
+                    embedding[i] = int(v)
+                    yield tuple(embedding)
+                    stats.embeddings += 1
+            elif collection == "count_last":
+                stats.embeddings += int(filt.size)
+            else:  # choose2
+                a = int(filt.size)
+                stats.embeddings += a * (a - 1) // 2
+            return
+        for v in filt:
+            embedding[i] = int(v)
+            yield from recurse(i + 1)
+
+    for root in range(graph.num_vertices):
+        if (
+            root_label is not None
+            and vertex_labels is not None
+            and int(vertex_labels[root]) != root_label
+        ):
+            continue
+        embedding[0] = root
+        stored[0] = None
+        yield from recurse(1)
+
+
+def count_embeddings(
+    graph: CSRGraph, plan: MatchingPlan
+) -> ExecutionStats:
+    """Count pattern embeddings of ``plan`` in ``graph``; returns statistics.
+
+    The returned :class:`ExecutionStats` carries the final count in
+    ``embeddings`` alongside the operation aggregates.
+    """
+    stats = ExecutionStats()
+    if plan.collection == "enumerate":
+        for _ in _run(graph, plan, stats):
+            pass
+    else:
+        for _ in _run(graph, plan, stats):  # generator yields nothing
+            pass
+    return stats
+
+
+def enumerate_embeddings(
+    graph: CSRGraph, plan: MatchingPlan
+) -> Iterator[tuple[int, ...]]:
+    """Yield every (restriction-canonical) embedding as a vertex tuple.
+
+    Requires a plan built with ``collection="enumerate"``.
+    """
+    if plan.collection != "enumerate":
+        raise PlanError(
+            "enumerate_embeddings needs a plan with collection='enumerate'"
+        )
+    stats = ExecutionStats()
+    yield from _run(graph, plan, stats)

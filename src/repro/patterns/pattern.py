@@ -1,0 +1,235 @@
+"""Pattern graphs and the benchmark pattern registry (paper Figure 11).
+
+A :class:`Pattern` is a small connected undirected graph whose vertices are
+``0..k-1``.  The registry exposes the six patterns used throughout the
+paper's evaluation — triangle (3CF), 4-clique (4CF), 5-clique (5CF),
+tailed triangle (TT), 4-cycle (CYC), diamond (DIA) — plus the wedge used by
+3-motif finding (3MF) and a few extras for examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, permutations
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import PatternError
+
+__all__ = ["Pattern", "PATTERNS", "MOTIF3", "motif_patterns"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A connected query pattern on vertices ``0..num_vertices-1``.
+
+    ``labels`` optionally constrains each pattern vertex to match only data
+    vertices carrying the same label (labelled GPM); automorphisms — and
+    therefore symmetry-breaking restrictions — respect labels.
+    """
+
+    name: str
+    num_vertices: int
+    edge_list: tuple[tuple[int, int], ...]
+    labels: tuple[int, ...] | None = None
+    _adj: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 1:
+            raise PatternError("patterns need at least one vertex")
+        adj = [0] * self.num_vertices
+        seen: set[tuple[int, int]] = set()
+        for u, v in self.edge_list:
+            if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+                raise PatternError(f"edge ({u},{v}) out of range")
+            if u == v:
+                raise PatternError("patterns must be simple (no self loops)")
+            if (min(u, v), max(u, v)) in seen:
+                raise PatternError(f"duplicate edge ({u},{v})")
+            seen.add((min(u, v), max(u, v)))
+            adj[u] |= 1 << v
+            adj[v] |= 1 << u
+        object.__setattr__(self, "_adj", tuple(adj))
+        if self.labels is not None and len(self.labels) != self.num_vertices:
+            raise PatternError("labels must have one entry per pattern vertex")
+        if self.num_vertices > 1 and not self._connected():
+            raise PatternError(f"pattern {self.name!r} is not connected")
+
+    @classmethod
+    def from_edges(cls, name: str, edges: Iterable[tuple[int, int]]) -> "Pattern":
+        """Build a pattern, inferring the vertex count from the edges."""
+        edge_tuple = tuple((int(u), int(v)) for u, v in edges)
+        if not edge_tuple:
+            raise PatternError("patterns must have at least one edge")
+        n = max(max(e) for e in edge_tuple) + 1
+        return cls(name=name, num_vertices=n, edge_list=edge_tuple)
+
+    @classmethod
+    def clique(cls, k: int, name: str | None = None) -> "Pattern":
+        """The complete pattern on ``k`` vertices."""
+        return cls(
+            name=name or f"{k}CF",
+            num_vertices=k,
+            edge_list=tuple(combinations(range(k), 2)),
+        )
+
+    @classmethod
+    def cycle(cls, k: int, name: str | None = None) -> "Pattern":
+        """The ``k``-cycle pattern."""
+        if k < 3:
+            raise PatternError("cycles need at least 3 vertices")
+        return cls(
+            name=name or f"C{k}",
+            num_vertices=k,
+            edge_list=tuple((i, (i + 1) % k) for i in range(k)),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def _connected(self) -> bool:
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            mask = self._adj[v]
+            while mask:
+                low = mask & -mask
+                w = low.bit_length() - 1
+                mask ^= low
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == self.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_list)
+
+    def adjacent(self, u: int, v: int) -> bool:
+        return bool(self._adj[u] >> v & 1)
+
+    def neighbors(self, v: int) -> list[int]:
+        out = []
+        mask = self._adj[v]
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def degree(self, v: int) -> int:
+        return self._adj[v].bit_count()
+
+    def automorphisms(self) -> Iterator[tuple[int, ...]]:
+        """All automorphisms as vertex permutations (brute force).
+
+        Patterns are tiny (≤ ~8 vertices) so exhaustive permutation search is
+        the simplest correct approach; degree multisets prune most branches.
+        """
+        degs = [self.degree(v) for v in range(self.num_vertices)]
+        for perm in permutations(range(self.num_vertices)):
+            if any(degs[v] != degs[perm[v]] for v in range(self.num_vertices)):
+                continue
+            if self.labels is not None and any(
+                self.labels[v] != self.labels[perm[v]]
+                for v in range(self.num_vertices)
+            ):
+                continue
+            if all(
+                self.adjacent(perm[u], perm[v])
+                for u, v in self.edge_list
+            ):
+                yield perm
+
+    def automorphism_count(self) -> int:
+        return sum(1 for _ in self.automorphisms())
+
+    def relabeled(self, mapping: Sequence[int]) -> "Pattern":
+        """Pattern with vertex ``v`` renamed to ``mapping[v]``."""
+        if sorted(mapping) != list(range(self.num_vertices)):
+            raise PatternError("mapping must be a permutation")
+        new_labels = None
+        if self.labels is not None:
+            out = [0] * self.num_vertices
+            for v, lab in enumerate(self.labels):
+                out[mapping[v]] = lab
+            new_labels = tuple(out)
+        return Pattern(
+            name=self.name,
+            num_vertices=self.num_vertices,
+            edge_list=tuple(
+                (mapping[u], mapping[v]) for u, v in self.edge_list
+            ),
+            labels=new_labels,
+        )
+
+    def with_labels(self, labels: Sequence[int]) -> "Pattern":
+        """Copy of this pattern with per-vertex label constraints."""
+        return Pattern(
+            name=self.name,
+            num_vertices=self.num_vertices,
+            edge_list=self.edge_list,
+            labels=tuple(int(x) for x in labels),
+        )
+
+
+def _registry() -> dict[str, Pattern]:
+    patterns = [
+        Pattern.clique(3, "3CF"),
+        Pattern.clique(4, "4CF"),
+        Pattern.clique(5, "5CF"),
+        # tailed triangle: triangle 0-1-2 plus tail vertex 3 hanging off 0
+        Pattern.from_edges("TT", [(0, 1), (0, 2), (1, 2), (0, 3)]),
+        Pattern.cycle(4, "CYC"),
+        # diamond: 4-cycle 0-2-1-3 with chord 0-1 (two triangles on edge 0-1)
+        Pattern.from_edges("DIA", [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]),
+        # wedge (open triangle): the second 3-vertex motif used by 3MF
+        Pattern.from_edges("WEDGE", [(0, 1), (0, 2)]),
+        # house: 4-cycle with a triangle roof — used by examples/tests
+        Pattern.from_edges(
+            "HOUSE", [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]
+        ),
+        Pattern.cycle(5, "C5"),
+        Pattern.from_edges("P3", [(0, 1), (1, 2), (2, 3)]),
+    ]
+    return {p.name: p for p in patterns}
+
+
+#: named benchmark patterns (paper Figure 11 plus extras)
+PATTERNS: dict[str, Pattern] = _registry()
+
+#: the two connected 3-vertex motifs counted by 3MF
+MOTIF3: tuple[Pattern, Pattern] = (PATTERNS["3CF"], PATTERNS["WEDGE"])
+
+
+def motif_patterns(size: int) -> list[Pattern]:
+    """All connected patterns with ``size`` vertices (up to isomorphism).
+
+    Used by multi-pattern motif-finding workloads; sizes up to 5 enumerate
+    quickly by filtering labelled edge subsets.
+    """
+    if size < 2 or size > 5:
+        raise PatternError("motif enumeration supported for sizes 2..5")
+    found: list[Pattern] = []
+    all_edges = list(combinations(range(size), 2))
+    seen_canon: set[frozenset[tuple[int, int]]] = set()
+    for r in range(size - 1, len(all_edges) + 1):
+        for edges in combinations(all_edges, r):
+            try:
+                p = Pattern(f"motif{size}", size, tuple(edges))
+            except PatternError:
+                continue
+            canon = min(
+                tuple(
+                    sorted(
+                        (min(m[u], m[v]), max(m[u], m[v])) for u, v in edges
+                    )
+                )
+                for m in permutations(range(size))
+            )
+            if canon in seen_canon:
+                continue
+            seen_canon.add(canon)
+            found.append(
+                Pattern(f"motif{size}_{len(found)}", size, tuple(edges))
+            )
+    return found

@@ -1,0 +1,22 @@
+"""Task structures and scheduling policies for the GPM search tree."""
+
+from .policies import (
+    BarrierFreeScheduler,
+    DFSScheduler,
+    PseudoDFSScheduler,
+    SchedulerBase,
+    ShogunScheduler,
+    make_scheduler,
+)
+from .task import SimTask, TaskSetState
+
+__all__ = [
+    "BarrierFreeScheduler",
+    "DFSScheduler",
+    "PseudoDFSScheduler",
+    "SchedulerBase",
+    "ShogunScheduler",
+    "SimTask",
+    "TaskSetState",
+    "make_scheduler",
+]

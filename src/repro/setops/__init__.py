@@ -1,0 +1,31 @@
+"""Exact functional/cycle models of the set-operation hardware pipelines."""
+
+from .bitonic import OrderAwarePipeline, bitonic_merge_segment, min_stage
+from .merge_queue import MergeQueuePipeline
+from .reference import (
+    difference_sorted,
+    galloping_comparison_count,
+    intersect_count,
+    intersect_sorted,
+    merge_comparison_count,
+)
+from .systolic import SystolicMergeArray
+from .trace import FLAG_L, FLAG_R, INF_KEY, Element, SetOpTrace
+
+__all__ = [
+    "FLAG_L",
+    "FLAG_R",
+    "INF_KEY",
+    "Element",
+    "MergeQueuePipeline",
+    "OrderAwarePipeline",
+    "SetOpTrace",
+    "SystolicMergeArray",
+    "bitonic_merge_segment",
+    "difference_sorted",
+    "galloping_comparison_count",
+    "intersect_count",
+    "intersect_sorted",
+    "merge_comparison_count",
+    "min_stage",
+]

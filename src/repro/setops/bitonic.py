@@ -1,0 +1,260 @@
+"""Exact element-level model of the Order-Aware SIU core pipeline (paper §5).
+
+This module reproduces the hardware dataflow of Figure 9 stage by stage:
+
+* **MIN stage** — extracts the ``N`` smallest elements across the heads of
+  the two input streams by comparing ``A_i`` against ``B_{N-i+1}``; the
+  output is guaranteed bitonic (§5.3.1).
+* **CAS stages** — ``log2 N`` recursive compare-and-swap stages sort the
+  bitonic segment with ``N/2`` comparators each, setting the *match flag*
+  whenever two compared elements carry equal keys (§5.3.2).
+* **Merge stage** — adjacent comparison on the sorted stream resolves
+  intersection/difference, combining BitmapCSR bitmaps (AND / AND-NOT) and
+  carrying a single boundary register across segments (§5.4.1).
+* **Compact stage** — binary-tree reducer that squeezes out empties
+  (§5.4.2; modelled as ``log2 N`` extra pipeline depth).
+
+It exists to *anchor* the fast analytic cost model in :mod:`repro.siu`:
+property tests assert that results match the reference oracle and that the
+analytic cycle counts equal the ones measured here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .trace import FLAG_L, FLAG_R, INF_KEY, Element, SetOpTrace
+
+__all__ = ["OrderAwarePipeline", "bitonic_merge_segment", "min_stage"]
+
+
+def min_stage(
+    window_a: list[Element], window_b: list[Element]
+) -> tuple[list[Element], int, int]:
+    """One MIN-stage cycle: pick the N smallest of two sorted windows.
+
+    Returns ``(bitonic segment, taken_from_a, comparisons)``.  Both windows
+    must have equal length ``N`` (pad with ``INF_KEY`` elements).  The
+    selected elements are a prefix of each window because ``A`` ascends while
+    the mirrored ``B`` descends — the property that makes the output bitonic.
+    """
+    n = len(window_a)
+    if len(window_b) != n:
+        raise ConfigError("MIN stage windows must have equal length")
+    out: list[Element] = []
+    taken_a = 0
+    for i in range(n):
+        a = window_a[i]
+        b = window_b[n - 1 - i]
+        if a.order_key() <= b.order_key():
+            out.append(a)
+            taken_a += 1
+        else:
+            out.append(b)
+    return out, taken_a, n
+
+
+def bitonic_merge_segment(segment: list[Element]) -> tuple[list[Element], int]:
+    """Sort a bitonic segment with the recursive CAS network.
+
+    Mutates/propagates match flags per the paper's rule
+    ``m_i' = m_i ∨ (x_i = x_j)``.  Returns ``(sorted segment, comparisons)``.
+    Length must be a power of two.
+    """
+    seg = list(segment)
+    n = len(seg)
+    if n & (n - 1):
+        raise ConfigError("CAS network length must be a power of two")
+    comparisons = 0
+    span = n // 2
+    while span >= 1:
+        for block in range(0, n, span * 2):
+            for i in range(block, block + span):
+                j = i + span
+                x, y = seg[i], seg[j]
+                comparisons += 1
+                if x.key == y.key and x.valid:
+                    x.match = True
+                    y.match = True
+                if x.order_key() > y.order_key():
+                    seg[i], seg[j] = y, x
+        span //= 2
+    return seg, comparisons
+
+
+@dataclass
+class _Stream:
+    """A consumable sorted input stream with INF padding."""
+
+    elements: list[Element]
+    pos: int = 0
+
+    def window(self, n: int) -> list[Element]:
+        out = self.elements[self.pos : self.pos + n]
+        while len(out) < n:
+            out = out + [Element(key=INF_KEY, bitmap=0, flag=out[0].flag
+                                 if out else FLAG_L)]
+        return out
+
+    def consume(self, k: int) -> None:
+        self.pos = min(self.pos + k, len(self.elements))
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.elements)
+
+
+class OrderAwarePipeline:
+    """Exact cycle-by-cycle model of one Order-Aware SIU core pipeline.
+
+    Parameters
+    ----------
+    segment_width:
+        ``N`` — elements processed per cycle (power of two; the paper uses
+        8 to match the DRAM access granularity).
+    bitmap_width:
+        BitmapCSR ``b``; 0 means plain CSR and the element bitmap degrades
+        to a 1-bit presence flag.
+    """
+
+    def __init__(self, segment_width: int = 8, bitmap_width: int = 0) -> None:
+        if segment_width < 2 or segment_width & (segment_width - 1):
+            raise ConfigError("segment_width must be a power of two >= 2")
+        self.segment_width = segment_width
+        self.bitmap_width = bitmap_width
+        self.log_n = int(math.log2(segment_width))
+
+    # -- hardware inventory -------------------------------------------------
+
+    @property
+    def pipeline_depth(self) -> int:
+        """MIN (1) + CAS (log N) + Merge (1) + Compact (log N) stages."""
+        return 2 + 2 * self.log_n
+
+    @property
+    def comparator_count(self) -> int:
+        """Comparators instantiated: N (MIN) + N/2·logN (CAS) + 1 (boundary)."""
+        n = self.segment_width
+        return n + (n // 2) * self.log_n + 1
+
+    # -- helpers --------------------------------------------------------------
+
+    def _to_elements(self, words: np.ndarray, flag: int) -> list[Element]:
+        b = self.bitmap_width
+        out = []
+        for w in np.asarray(words, dtype=np.int64):
+            w = int(w)
+            if b:
+                out.append(Element(key=w >> b, bitmap=w & ((1 << b) - 1),
+                                   flag=flag))
+            else:
+                out.append(Element(key=w, bitmap=1, flag=flag))
+        return out
+
+    def _emit(self, key: int, bitmap: int, out: list[int]) -> int:
+        """Append a result word; returns the vertex count it represents."""
+        b = self.bitmap_width
+        if b:
+            out.append((key << b) | bitmap)
+            return bitmap.bit_count()
+        out.append(key)
+        return 1
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(
+        self, a_words: np.ndarray, b_words: np.ndarray, op: str = "intersect"
+    ) -> SetOpTrace:
+        """Process ``op`` ∈ {intersect, difference} over two sorted streams."""
+        if op not in ("intersect", "difference"):
+            raise ConfigError(f"unsupported op {op!r}")
+        n = self.segment_width
+        stream_a = _Stream(self._to_elements(a_words, FLAG_L))
+        stream_b = _Stream(self._to_elements(b_words, FLAG_R))
+        trace = SetOpTrace()
+        trace.words_consumed = len(stream_a.elements) + len(stream_b.elements)
+        out_words: list[int] = []
+        pending: Element | None = None
+
+        def resolve(prev: Element, cur: Element | None) -> None:
+            """Merge-stage decision for ``prev`` given its successor."""
+            nonlocal pending
+            matched = (
+                cur is not None
+                and prev.key == cur.key
+                and prev.flag != cur.flag
+            )
+            if matched:
+                assert cur is not None
+                if op == "intersect":
+                    bits = prev.bitmap & cur.bitmap
+                    if bits:
+                        trace.result_count += self._emit(prev.key, bits,
+                                                         out_words)
+                else:  # difference A - B; prev is the L element of the pair
+                    left, right = (prev, cur) if prev.flag == FLAG_L else (
+                        cur, prev)
+                    bits = left.bitmap & ~right.bitmap
+                    if bits:
+                        trace.result_count += self._emit(left.key, bits,
+                                                         out_words)
+                pending = None
+            else:
+                if op == "difference" and prev.flag == FLAG_L:
+                    trace.result_count += self._emit(prev.key, prev.bitmap,
+                                                     out_words)
+                pending = cur
+
+        # Intersection can stop as soon as either stream exhausts (nothing
+        # left can match); difference must drain all of A but can stop
+        # consuming B once A is done.
+        def active() -> bool:
+            if op == "intersect":
+                return not (stream_a.exhausted or stream_b.exhausted)
+            return not stream_a.exhausted
+
+        while active():
+            segment, taken_a, min_cmps = min_stage(
+                stream_a.window(n), stream_b.window(n)
+            )
+            stream_a.consume(taken_a)
+            stream_b.consume(n - taken_a)
+            segment = [Element(e.key, e.bitmap, e.flag) for e in segment]
+            sorted_seg, cas_cmps = bitonic_merge_segment(segment)
+            trace.comparisons += min_cmps + cas_cmps
+            trace.issue_cycles += 1
+            # Merge stage: adjacent resolution with boundary register.
+            for elem in sorted_seg:
+                if not elem.valid:
+                    continue
+                if pending is None:
+                    pending = elem
+                else:
+                    resolve(pending, elem)
+            trace.comparisons += 1  # boundary register comparison
+        if pending is not None:
+            # boundary case: the pending element may match the head of the
+            # not-yet-exhausted stream (single register comparison, §5.4.1).
+            # Consumption order is globally sorted, so the only possible
+            # partner is the smallest unconsumed element.
+            for stream in (stream_a, stream_b):
+                if not stream.exhausted:
+                    head = stream.elements[stream.pos]
+                    if (head.key == pending.key
+                            and head.flag != pending.flag):
+                        resolve(pending, head)
+                    break
+        if pending is not None:
+            resolve(pending, None)
+
+        trace.pipeline_depth = self.pipeline_depth
+        trace.cycles = trace.issue_cycles + self.pipeline_depth
+        trace.result = np.asarray(out_words, dtype=np.int64)
+        trace.words_produced = len(out_words)
+        if self.bitmap_width == 0:
+            trace.result_count = len(out_words)
+        return trace

@@ -1,0 +1,91 @@
+"""Exact model of the simple merge-queue SIU (paper Figure 2a).
+
+This is the design FlexMiner, FINGERS and NDMiner build on: a single
+comparator walks two sorted streams one comparison per cycle — minimal area
+and O(1) latency, but one-element-per-cycle throughput.  BitmapCSR support
+follows the same pattern as X-SET's merge stage (index compare + bitmap
+combine), which is how the paper configures all SIUs for fair comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .trace import SetOpTrace
+
+__all__ = ["MergeQueuePipeline"]
+
+
+class MergeQueuePipeline:
+    """One-comparator sequential merge intersection/difference unit."""
+
+    def __init__(self, bitmap_width: int = 0) -> None:
+        self.bitmap_width = bitmap_width
+
+    #: pipeline fill latency — a couple of register stages
+    pipeline_depth = 2
+    #: a single compare unit plus an output mux
+    comparator_count = 1
+
+    def _split(self, w: int) -> tuple[int, int]:
+        b = self.bitmap_width
+        if b:
+            return w >> b, w & ((1 << b) - 1)
+        return w, 1
+
+    def _pack(self, key: int, bits: int) -> int:
+        b = self.bitmap_width
+        return (key << b) | bits if b else key
+
+    def run(
+        self, a_words: np.ndarray, b_words: np.ndarray, op: str = "intersect"
+    ) -> SetOpTrace:
+        if op not in ("intersect", "difference"):
+            raise ConfigError(f"unsupported op {op!r}")
+        a = [int(x) for x in np.asarray(a_words, dtype=np.int64)]
+        b = [int(x) for x in np.asarray(b_words, dtype=np.int64)]
+        trace = SetOpTrace()
+        trace.words_consumed = len(a) + len(b)
+        out: list[int] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            ka, ba = self._split(a[i])
+            kb, bb = self._split(b[j])
+            trace.comparisons += 1
+            trace.issue_cycles += 1
+            if ka == kb:
+                bits = ba & bb if op == "intersect" else ba & ~bb
+                if bits:
+                    trace.result_count += (
+                        bits.bit_count() if self.bitmap_width else 1
+                    )
+                    out.append(self._pack(ka, bits))
+                i += 1
+                j += 1
+            elif ka < kb:
+                if op == "difference":
+                    trace.result_count += (
+                        ba.bit_count() if self.bitmap_width else 1
+                    )
+                    out.append(a[i])
+                i += 1
+            else:
+                j += 1
+        if op == "difference":
+            # remaining A elements stream out one per cycle
+            while i < len(a):
+                ka, ba = self._split(a[i])
+                trace.result_count += (
+                    ba.bit_count() if self.bitmap_width else 1
+                )
+                out.append(a[i])
+                trace.issue_cycles += 1
+                i += 1
+        trace.pipeline_depth = self.pipeline_depth
+        trace.cycles = trace.issue_cycles + self.pipeline_depth
+        trace.result = np.asarray(out, dtype=np.int64)
+        trace.words_produced = len(out)
+        if self.bitmap_width == 0:
+            trace.result_count = len(out)
+        return trace

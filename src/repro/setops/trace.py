@@ -1,0 +1,58 @@
+"""Common trace record produced by every exact set-operation pipeline model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SetOpTrace", "Element", "FLAG_L", "FLAG_R", "INF_KEY"]
+
+#: origin flags for the tagged-merge total order (paper §3.1, Insight 1)
+FLAG_L = 0  # element of the first input set (A)
+FLAG_R = 1  # element of the second input set (B)
+
+#: key used for padding (×) elements — larger than any valid vertex/block id
+INF_KEY = 1 << 62
+
+
+@dataclass
+class Element:
+    """One datapath element flowing through a hardware pipeline model.
+
+    ``key`` is what comparators see (a vertex ID, or only the block index
+    when BitmapCSR is enabled); ``bitmap`` is the payload combined at the
+    Merge stage; ``flag`` records the source set; ``match`` is the CAS-stage
+    match flag from the paper's §5.3.2 optimisation.
+    """
+
+    key: int
+    bitmap: int = 1
+    flag: int = FLAG_L
+    match: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.key != INF_KEY
+
+    def order_key(self) -> tuple[int, int]:
+        """Total-order key: ascending value, L before R on ties."""
+        return (self.key, self.flag)
+
+
+@dataclass
+class SetOpTrace:
+    """Cycle-level accounting for one set operation on one SIU model.
+
+    ``cycles`` is end-to-end latency (issue + pipeline depth); analytic cost
+    models in :mod:`repro.siu` are validated against these numbers.
+    """
+
+    result: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    cycles: int = 0
+    issue_cycles: int = 0
+    pipeline_depth: int = 0
+    comparisons: int = 0
+    words_consumed: int = 0
+    words_produced: int = 0
+    result_count: int = 0  # vertices represented (≠ words under BitmapCSR)

@@ -1,0 +1,25 @@
+"""Event-driven accelerator simulation: PEs, RoCC interface, host model."""
+
+from .accelerator import AcceleratorSim
+from .hwexec import HardwareTaskExecutor, TaskOutcome
+from .host import HostModel, run_on_soc
+from .report import SimReport
+from .rocc import RoCCInstruction, RoCCInterface
+from .trace import ActivityTrace, TraceEvent
+from .validation import CrossValidation, ExactTaskExecutor, cross_validate
+
+__all__ = [
+    "AcceleratorSim",
+    "ActivityTrace",
+    "TraceEvent",
+    "HardwareTaskExecutor",
+    "HostModel",
+    "RoCCInstruction",
+    "RoCCInterface",
+    "CrossValidation",
+    "ExactTaskExecutor",
+    "SimReport",
+    "TaskOutcome",
+    "cross_validate",
+    "run_on_soc",
+]

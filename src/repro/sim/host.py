@@ -1,0 +1,137 @@
+"""Rocket-core host model: offload flow and over-deep pattern splitting.
+
+The paper's §4.2 highlights two host responsibilities beyond configuration:
+
+* **Result collection** — IEP expressions (e.g. the diamond's ``A(A-1)/2``)
+  are evaluated on the RISC-V core; in this model that logic lives in the
+  plan's collection mode and the host merely accounts a per-result cost.
+* **Arbitrary pattern depth** — when a plan is deeper than the hardware
+  scheduler supports, the CPU executes the initial plan levels in software
+  and hands the resulting partial embeddings to the PEs as start tasks.
+
+The host's software execution is charged with a simple scalar-merge cost
+model (comparisons × cycles-per-comparison at the shared 1 GHz clock), which
+is also the primitive the CPU baseline models build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import SystemConfig
+from ..graph.csr import CSRGraph
+from ..patterns.executor import apply_filters
+from ..patterns.plan import MatchingPlan
+from ..sched.task import SimTask
+from ..setops.reference import (
+    difference_sorted,
+    intersect_sorted,
+    merge_comparison_count,
+)
+from .report import SimReport
+from .rocc import RoCCInterface
+
+__all__ = ["HostModel", "run_on_soc"]
+
+#: host cycles per scalar merge comparison (in-order Rocket pipeline)
+HOST_CYCLES_PER_COMPARISON = 2.0
+#: host cycles to issue one RoCC instruction
+HOST_ROCC_ISSUE_CYCLES = 4.0
+
+
+@dataclass
+class _PrefixResult:
+    tasks: list[SimTask]
+    host_cycles: float
+
+
+class HostModel:
+    """The Rocket core driving one X-SET accelerator."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.rocc = RoCCInterface(config)
+
+    def _software_prefix(
+        self, graph: CSRGraph, plan: MatchingPlan, hw_start_level: int
+    ) -> _PrefixResult:
+        """Execute plan levels below ``hw_start_level`` on the CPU."""
+        cycles = 0.0
+        tasks: list[SimTask] = []
+        levels = plan.levels
+        neighbors = graph.neighbors
+
+        def expand(task: SimTask) -> None:
+            nonlocal cycles
+            if task.level == hw_start_level:
+                tasks.append(task)
+                return
+            lv = levels[task.level]
+            emb = task.embedding
+            if lv.base is not None and lv.base >= 1:
+                s = task.ancestor(lv.base).raw_set
+                assert s is not None
+                ints, subs = lv.extra_deps, lv.extra_anti
+            else:
+                s = neighbors(emb[lv.deps[0]])
+                ints, subs = lv.deps[1:], lv.anti_deps
+            for p in ints:
+                b = neighbors(emb[p])
+                out = intersect_sorted(s, b)
+                cycles += HOST_CYCLES_PER_COMPARISON * merge_comparison_count(
+                    int(s.size), int(b.size), int(out.size)
+                )
+                s = out
+            for p in subs:
+                b = neighbors(emb[p])
+                out = difference_sorted(s, b)
+                cycles += HOST_CYCLES_PER_COMPARISON * merge_comparison_count(
+                    int(s.size), int(b.size), int(s.size) - int(out.size)
+                )
+                s = out
+            task.raw_set = s
+            task.raw_words = int(s.size)
+            for v in apply_filters(s, lv, emb, graph.labels):
+                expand(SimTask(level=task.level + 1, vertex=int(v),
+                               parent=task))
+
+        root_label = plan.levels[0].label
+        for root in range(graph.num_vertices):
+            if (
+                root_label is not None
+                and graph.labels is not None
+                and int(graph.labels[root]) != root_label
+            ):
+                continue
+            expand(SimTask(level=1, vertex=root, parent=None))
+        return _PrefixResult(tasks=tasks, host_cycles=cycles)
+
+    def run(self, graph: CSRGraph, plan: MatchingPlan) -> SimReport:
+        """Full offload flow: configure → (prefix) → run → poll."""
+        self.rocc.config_graph(graph)
+        self.rocc.config_tasklist(plan)
+        host_cycles = 3 * HOST_ROCC_ISSUE_CYCLES
+        start_tasks = None
+        stop_level = {
+            "enumerate": plan.depth - 1,
+            "count_last": plan.depth - 1,
+            "choose2": plan.depth - 2,
+        }[plan.collection]
+        if stop_level > self.config.max_hw_levels:
+            hw_start = stop_level - self.config.max_hw_levels + 1
+            prefix = self._software_prefix(graph, plan, hw_start)
+            start_tasks = prefix.tasks
+            host_cycles += prefix.host_cycles
+        self.rocc.run(start_tasks=start_tasks)
+        report = self.rocc.poll()
+        report.host_cycles += host_cycles
+        return report
+
+
+def run_on_soc(
+    graph: CSRGraph, plan: MatchingPlan, config: SystemConfig
+) -> SimReport:
+    """End-to-end SoC run: host + RoCC + accelerator."""
+    return HostModel(config).run(graph, plan)

@@ -1,0 +1,67 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimReport"]
+
+
+@dataclass
+class SimReport:
+    """Outcome of one accelerator simulation run.
+
+    ``cycles`` is the simulated makespan; ``seconds`` converts at the
+    configured clock.  Functional results (``embeddings``) are exact and are
+    cross-checked against the software reference executor in tests.
+    """
+
+    config_name: str = ""
+    graph_name: str = ""
+    pattern_name: str = ""
+    cycles: float = 0.0
+    frequency_ghz: float = 1.0
+    embeddings: int = 0
+    tasks: int = 0
+    set_ops: int = 0
+    comparisons: int = 0
+    words_in: int = 0
+    words_out: int = 0
+    siu_busy_cycles: float = 0.0
+    num_sius: int = 1
+    host_cycles: float = 0.0
+    private_hits: int = 0
+    private_misses: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
+    dram_bytes: int = 0
+    peak_active_task_sets: int = 0
+    per_pe_busy: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        """Simulated end-to-end time (accelerator + host share the clock)."""
+        return (self.cycles + self.host_cycles) / (self.frequency_ghz * 1e9)
+
+    @property
+    def siu_utilization(self) -> float:
+        """Mean busy fraction across every SIU in the system."""
+        if self.cycles <= 0 or self.num_sius == 0:
+            return 0.0
+        return self.siu_busy_cycles / (self.cycles * self.num_sius)
+
+    @property
+    def dram_bandwidth_gbps(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.dram_bytes / self.cycles * self.frequency_ghz
+
+    def summary(self) -> str:
+        return (
+            f"[{self.config_name}] {self.pattern_name} on {self.graph_name}: "
+            f"{self.embeddings} embeddings in {self.cycles:.0f} cycles "
+            f"({self.seconds * 1e3:.3f} ms @ {self.frequency_ghz} GHz), "
+            f"{self.tasks} tasks, SIU util {self.siu_utilization:.1%}, "
+            f"DRAM {self.dram_bandwidth_gbps:.1f} GB/s"
+        )

@@ -1,0 +1,214 @@
+"""Cross-validation of the fast simulator against exact pipeline models.
+
+The paper validates its fast SystemC simulator against RTL simulation on
+small test cases (§7.1.1).  This module replays the same methodology one
+level up: an :class:`ExactTaskExecutor` executes every task by *streaming
+the actual word sequences through the element-level pipeline models* of
+:mod:`repro.setops` (the "RTL" of this reproduction), while the production
+:class:`~repro.sim.hwexec.HardwareTaskExecutor` uses the analytic cost
+formulas.  :func:`cross_validate` runs a workload through both and reports
+the cycle-count discrepancy, which tests pin to a small tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import SystemConfig
+from ..graph import bitmapcsr
+from ..graph.csr import CSRGraph
+from ..patterns.plan import MatchingPlan
+from ..setops.bitonic import OrderAwarePipeline
+from ..setops.merge_queue import MergeQueuePipeline
+from ..setops.systolic import SystolicMergeArray
+from .accelerator import AcceleratorSim
+from .hwexec import HardwareTaskExecutor, TaskOutcome
+
+__all__ = ["ExactTaskExecutor", "CrossValidation", "cross_validate"]
+
+
+def _exact_pipeline(config: SystemConfig):
+    if config.siu_kind == "order-aware":
+        return OrderAwarePipeline(config.segment_width, config.bitmap_width)
+    if config.siu_kind == "sma":
+        return SystolicMergeArray(config.segment_width, config.bitmap_width)
+    return MergeQueuePipeline(config.bitmap_width)
+
+
+class ExactTaskExecutor(HardwareTaskExecutor):
+    """Task executor whose per-op cycle counts come from the exact pipelines.
+
+    Much slower than the analytic executor (it materialises BitmapCSR word
+    streams and walks them element by element), so it is reserved for
+    validation on small graphs.
+    """
+
+    def __init__(self, graph, plan, siu, memory, config: SystemConfig,
+                 task_overhead_cycles: int = 0) -> None:
+        super().__init__(graph, plan, siu, memory,
+                         task_overhead_cycles=task_overhead_cycles)
+        self._pipe = _exact_pipeline(config)
+        #: cumulative exact issue cycles measured op by op
+        self.exact_issue_cycles = 0
+
+    def execute(self, task, pe: int, now: float) -> TaskOutcome:
+        # run the analytic path for the simulation itself...
+        outcome = super().execute(task, pe, now)
+        # ...then replay every op of this task through the exact pipeline
+        lv = self.plan.levels[task.level]
+        if lv.reuse_from is not None:
+            return outcome
+        emb = task.embedding
+        if lv.base is not None:
+            s = task.ancestor(lv.base).raw_set
+            ops = [("intersect", p) for p in lv.extra_deps] + [
+                ("difference", p) for p in lv.extra_anti
+            ]
+        else:
+            s = self.graph.neighbors(emb[lv.deps[0]])
+            ops = [("intersect", p) for p in lv.deps[1:]] + [
+                ("difference", p) for p in lv.anti_deps
+            ]
+        width = self._width
+        for exop, p in ops:
+            b = self.graph.neighbors(emb[p])
+            aw = bitmapcsr.encode(np.asarray(s, dtype=np.int64), width)
+            bw = bitmapcsr.encode(np.asarray(b, dtype=np.int64), width)
+            trace = self._pipe.run(aw, bw, exop)
+            self.exact_issue_cycles += trace.issue_cycles
+            s = bitmapcsr.decode(trace.result, width)
+        return outcome
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Result of one fast-vs-exact comparison."""
+
+    analytic_cycles: float
+    exact_issue_cycles: int
+    analytic_comparisons: int
+    embeddings_match: bool
+    relative_issue_error: float
+
+
+def cross_validate(
+    graph: CSRGraph, plan: MatchingPlan, config: SystemConfig
+) -> CrossValidation:
+    """Run one workload through both executors and compare.
+
+    The comparison metric is total *issue cycles* across all set operations
+    — the quantity the analytic formulas approximate.  Memory timing and
+    scheduling are identical in both runs by construction.
+    """
+    # analytic run
+    sim = AcceleratorSim(graph, plan, config)
+    report = sim.run()
+
+    # exact replay
+    from ..memory.hierarchy import MemoryHierarchy
+    from ..siu.models import make_siu
+
+    memory = MemoryHierarchy(config.memory_config())
+    siu = make_siu(config.siu_kind, config.segment_width,
+                   config.bitmap_width)
+    exact = ExactTaskExecutor(
+        graph, plan, siu, memory, config,
+        task_overhead_cycles=config.task_overhead_cycles,
+    )
+    sim2 = AcceleratorSim(graph, plan, config)
+    sim2.executor = exact
+    report2 = sim2.run()
+
+    # recompute analytic issue cycles from the cost model for the same ops
+    analytic_issue = _analytic_issue_cycles(graph, plan, config)
+    err = (
+        abs(analytic_issue - exact.exact_issue_cycles)
+        / max(exact.exact_issue_cycles, 1)
+    )
+    return CrossValidation(
+        analytic_cycles=report.cycles,
+        exact_issue_cycles=exact.exact_issue_cycles,
+        analytic_comparisons=report.comparisons,
+        embeddings_match=report.embeddings == report2.embeddings,
+        relative_issue_error=err,
+    )
+
+
+def _analytic_issue_cycles(
+    graph: CSRGraph, plan: MatchingPlan, config: SystemConfig
+) -> int:
+    """Total analytic issue cycles over every op of the workload."""
+    from ..siu.base import consumed_extents, merge_boundaries
+    from ..siu.models import make_siu
+
+    siu = make_siu(config.siu_kind, config.segment_width,
+                   config.bitmap_width)
+    total = 0
+
+    from ..patterns.executor import apply_filters
+    from ..setops.reference import difference_sorted, intersect_sorted
+
+    levels = plan.levels
+    stop = {
+        "enumerate": plan.depth - 1,
+        "count_last": plan.depth - 1,
+        "choose2": plan.depth - 2,
+    }[plan.collection]
+    embedding = [0] * plan.depth
+    stored: list[np.ndarray | None] = [None] * plan.depth
+
+    def candidates(i: int) -> np.ndarray:
+        nonlocal total
+        lv = levels[i]
+        if lv.reuse_from is not None:
+            base = stored[lv.reuse_from]
+            assert base is not None
+            return base
+        if lv.base is not None:
+            s = stored[lv.base]
+            assert s is not None
+            ints, subs = lv.extra_deps, lv.extra_anti
+        else:
+            s = graph.neighbors(embedding[lv.deps[0]])
+            ints, subs = lv.deps[1:], lv.anti_deps
+        for kind, p in [("set_int", q) for q in ints] + [
+            ("set_diff", q) for q in subs
+        ]:
+            b = graph.neighbors(embedding[p])
+            ka, kb = siu._streams(s, b)
+            i_end, j_end, matches = merge_boundaries(ka, kb)
+            c_a, c_b = consumed_extents(ka, kb)
+            cost = siu.cost_terms(
+                int(ka.size), int(kb.size), i_end, j_end, matches, kind,
+                c_a=c_a, c_b=c_b,
+            )
+            total += cost.issue_cycles
+            s = (
+                intersect_sorted(s, b)
+                if kind == "set_int"
+                else difference_sorted(s, b)
+            )
+        return s
+
+    def recurse(i: int) -> None:
+        raw = candidates(i)
+        stored[i] = raw
+        if i == stop:
+            return
+        for v in apply_filters(raw, levels[i], embedding, graph.labels):
+            embedding[i] = int(v)
+            recurse(i + 1)
+
+    root_label = levels[0].label
+    for root in range(graph.num_vertices):
+        if (
+            root_label is not None
+            and graph.labels is not None
+            and int(graph.labels[root]) != root_label
+        ):
+            continue
+        embedding[0] = root
+        recurse(1)
+    return total

@@ -1,0 +1,15 @@
+"""SIU cycle-cost models and hardware inventories."""
+
+from .base import OpCost, SIUCostModel, block_keys, merge_boundaries
+from .models import MergeQueueSIU, OrderAwareSIU, SystolicSIU, make_siu
+
+__all__ = [
+    "MergeQueueSIU",
+    "OpCost",
+    "OrderAwareSIU",
+    "SIUCostModel",
+    "SystolicSIU",
+    "block_keys",
+    "make_siu",
+    "merge_boundaries",
+]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, erdos_renyi, powerlaw_graph
+
+
+@pytest.fixture
+def toy_graph() -> CSRGraph:
+    """The 6-vertex data graph of the paper's Figure 1a."""
+    edges = [
+        (0, 1), (0, 2), (0, 4),
+        (1, 2), (1, 3),
+        (2, 3), (2, 4),
+        (3, 4), (3, 5),
+        (4, 5),
+    ]
+    return CSRGraph.from_edges(6, edges, name="fig1a")
+
+
+@pytest.fixture
+def small_er() -> CSRGraph:
+    """A 30-vertex random graph dense enough to contain every pattern."""
+    return erdos_renyi(30, 8.0, seed=11, name="er30")
+
+
+@pytest.fixture
+def medium_er() -> CSRGraph:
+    """A 60-vertex random graph used by integration tests."""
+    return erdos_renyi(60, 8.0, seed=3, name="er60")
+
+
+@pytest.fixture
+def skewed_graph() -> CSRGraph:
+    """A small power-law graph with a hub (scheduler stress)."""
+    return powerlaw_graph(
+        200, avg_degree=6.0, max_degree=80, seed=5, name="skewed",
+        triangle_boost=0.3,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,73 @@
+"""Tests for the analysis/experiment helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    geomean,
+    plan_cache,
+    run_grid,
+    run_workload,
+)
+from repro.core import xset_default
+from repro.patterns import PATTERNS
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_log_identity(self):
+        vals = [1.5, 2.5, 9.0, 0.3]
+        assert math.log(geomean(vals)) == pytest.approx(
+            sum(math.log(v) for v in vals) / len(vals)
+        )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a  ")
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestRunners:
+    def test_run_workload_small(self):
+        report = run_workload("PP", "3CF", scale=0.05)
+        assert report.embeddings >= 0
+        assert report.cycles > 0
+
+    def test_plan_cache_memoises(self):
+        a = plan_cache(PATTERNS["3CF"])
+        b = plan_cache(PATTERNS["3CF"])
+        assert a is b
+
+    def test_run_grid(self):
+        grid = run_grid(
+            config=xset_default(),
+            datasets=("PP",),
+            patterns=("3CF", "DIA"),
+            scale=0.05,
+        )
+        assert set(grid.reports) == {("PP", "3CF"), ("PP", "DIA")}
+        assert grid.seconds("PP", "3CF") > 0

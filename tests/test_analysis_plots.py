@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.analysis.plots import bar_chart, grouped_bars, line_series
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        art = bar_chart({"xset": 6.4, "fingers": 3.6}, title="speedups")
+        assert "xset" in art and "fingers" in art and "speedups" in art
+
+    def test_peak_bar_longest(self):
+        art = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small_line = next(l for l in art.splitlines() if "small" in l)
+        big_line = next(l for l in art.splitlines() if "big" in l)
+        assert big_line.count("█") > small_line.count("█")
+
+    def test_log_scale_compresses(self):
+        lin = bar_chart({"a": 1.0, "b": 1000.0}, width=40)
+        log = bar_chart({"a": 1.0, "b": 1000.0}, width=40, log=True)
+        a_lin = next(l for l in lin.splitlines() if l.startswith("a"))
+        a_log = next(l for l in log.splitlines() if l.startswith("a"))
+        assert a_log.count("█") > a_lin.count("█")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        art = grouped_bars({"PP": {"xset": 2.0}, "WV": {"xset": 8.0}})
+        assert "PP:" in art and "WV:" in art
+
+    def test_empty(self):
+        assert grouped_bars({}) == "(no data)"
+
+
+class TestLineSeries:
+    def test_renders_axes_and_legend(self):
+        art = line_series(
+            [1, 2, 4, 8],
+            {"xset": [1.0, 1.9, 3.7, 7.1], "dfs": [1.0, 1.2, 1.3, 1.4]},
+            title="PE scaling",
+        )
+        assert "PE scaling" in art
+        assert "o xset" in art and "x dfs" in art
+
+    def test_constant_series_no_crash(self):
+        art = line_series([0, 1], {"flat": [2.0, 2.0]})
+        assert "flat" in art
+
+    def test_empty(self):
+        assert line_series([], {}) == "(no data)"
+
+
+class TestReporting:
+    def test_collect_from_explicit_dir(self, tmp_path):
+        from repro.analysis import collect_results, experiment_summary
+
+        (tmp_path / "fig12_software.txt").write_text("speedups here")
+        blocks = collect_results(tmp_path)
+        assert blocks == {"fig12_software": "speedups here"}
+        report = experiment_summary(tmp_path)
+        assert "fig12_software" in report
+        assert "not yet regenerated" in report
+
+    def test_empty_dir_message(self, tmp_path):
+        from repro.analysis import experiment_summary
+
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert "no results" in experiment_summary(empty) or (
+            "not yet regenerated" in experiment_summary(empty)
+        )

@@ -1,0 +1,84 @@
+"""Deeper tests of the CPU/GPU baseline cost models."""
+
+import pytest
+
+from repro.baselines import GLUMIN, GRAPHPI, GRAPHSET, CpuBaselineModel
+from repro.baselines.software import GpuBaselineModel
+from repro.graph import erdos_renyi, powerlaw_graph
+from repro.patterns import PATTERNS, build_plan, count_embeddings
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = erdos_renyi(120, 10.0, seed=14)
+    plan = build_plan(PATTERNS["3CF"])
+    stats = count_embeddings(g, plan)
+    return g, plan, stats
+
+
+class TestCpuModel:
+    def test_more_cores_faster(self, workload):
+        g, plan, stats = workload
+        small = CpuBaselineModel(name="c8", cores=8)
+        big = CpuBaselineModel(name="c96", cores=96)
+        assert big.estimate(g, plan, stats).seconds < small.estimate(
+            g, plan, stats
+        ).seconds
+
+    def test_memory_bound_detection(self, workload):
+        g, plan, stats = workload
+        starved = CpuBaselineModel(
+            name="slowmem", mem_bandwidth_gbps=0.001
+        )
+        assert starved.estimate(g, plan, stats).bound == "memory"
+
+    def test_compute_bound_default(self, workload):
+        g, plan, stats = workload
+        assert GRAPHPI.estimate(g, plan, stats).bound == "compute"
+
+    def test_graphset_faster_than_graphpi(self, workload):
+        g, plan, stats = workload
+        assert (
+            GRAPHSET.estimate(g, plan, stats).seconds
+            < GRAPHPI.estimate(g, plan, stats).seconds
+        )
+
+    def test_result_carries_workload_names(self, workload):
+        g, plan, stats = workload
+        r = GRAPHPI.estimate(g, plan, stats)
+        assert r.system == "GraphPi"
+        assert r.pattern_name == "3CF"
+
+
+class TestGpuModel:
+    def test_lut_penalty_for_hub_graphs(self):
+        plan = build_plan(PATTERNS["3CF"])
+        small_hub = powerlaw_graph(600, 8.0, 100, seed=3, name="nohub")
+        big_hub = powerlaw_graph(600, 8.0, 590, seed=3, name="hub")
+        s_small = count_embeddings(small_hub, plan)
+        s_big = count_embeddings(big_hub, plan)
+        model = GpuBaselineModel(lut_degree_limit=100)
+        r_small = model.estimate(small_hub, plan, s_small)
+        r_big = model.estimate(big_hub, plan, s_big)
+        # per unit of work, the hub graph is penalised
+        small_rate = r_small.compute_seconds / max(
+            s_small.words_in + s_small.words_out, 1
+        )
+        big_rate = r_big.compute_seconds / max(
+            s_big.words_in + s_big.words_out, 1
+        )
+        assert big_rate > small_rate
+
+    def test_underutilisation_on_tiny_workloads(self, workload):
+        g, plan, stats = workload
+        tiny = GpuBaselineModel(min_words_to_saturate=1e12)
+        full = GpuBaselineModel(min_words_to_saturate=1.0)
+        assert (
+            tiny.estimate(g, plan, stats).compute_seconds
+            > full.estimate(g, plan, stats).compute_seconds
+        )
+
+    def test_launch_overhead_floor(self, workload):
+        g, plan, stats = workload
+        r = GLUMIN.estimate(g, plan, stats)
+        assert r.seconds >= GLUMIN.launch_overhead_s

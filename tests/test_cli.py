@@ -1,0 +1,75 @@
+"""CLI tests (in-process, via the argparse entry point)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count"])
+        assert args.dataset == "WV"
+        assert args.system == "xset"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--system", "tpu"])
+
+
+class TestCommands:
+    def test_count(self, capsys):
+        rc = main(
+            ["count", "--dataset", "PP", "--pattern", "3CF",
+             "--scale", "0.05"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "embeddings" in out and "3CF" in out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--dataset", "PP", "--pattern", "3CF",
+             "--scale", "0.05"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flexminer" in out and "xset" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        for key in ("PP", "WV", "LJ"):
+            assert key in out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        assert "barrier-free" in capsys.readouterr().out
+
+    def test_config_baseline(self, capsys):
+        assert main(["config", "--system", "fingers"]) == 0
+        assert "pseudo-dfs" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        assert "mm^2" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--pattern", "DIA"]) == 0
+        out = capsys.readouterr().out
+        assert "choose2" in out
+
+    def test_count_with_overrides(self, capsys):
+        rc = main(
+            ["count", "--dataset", "PP", "--pattern", "3CF",
+             "--scale", "0.05", "--pes", "2", "--sius", "2"]
+        )
+        assert rc == 0
+
+    def test_results_command(self, capsys):
+        assert main(["results"]) == 0
+        out = capsys.readouterr().out
+        assert "===" in out or "no results found" in out

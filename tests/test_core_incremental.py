@@ -1,0 +1,90 @@
+"""Incremental dynamic-graph counting vs from-scratch recounts."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalGPM, pattern_diameter
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, erdos_renyi
+from repro.patterns import PATTERNS, build_plan, count_embeddings
+
+
+class TestPatternDiameter:
+    @pytest.mark.parametrize(
+        "name,diameter",
+        [("3CF", 1), ("4CF", 1), ("DIA", 2), ("CYC", 2), ("TT", 2),
+         ("P3", 3)],
+    )
+    def test_known_diameters(self, name, diameter):
+        assert pattern_diameter(PATTERNS[name]) == diameter
+
+
+def _recount(inc: IncrementalGPM) -> int:
+    return count_embeddings(inc.snapshot(), inc.plan).embeddings
+
+
+class TestIncremental:
+    @pytest.mark.parametrize("pattern", ["3CF", "DIA", "CYC"])
+    def test_random_update_stream(self, pattern):
+        rng = np.random.default_rng(3)
+        g = erdos_renyi(40, 6.0, seed=8)
+        inc = IncrementalGPM(g, PATTERNS[pattern])
+        assert inc.count == _recount(inc)
+        for _ in range(25):
+            u, v = rng.integers(0, 40, 2)
+            if u == v:
+                continue
+            if inc.has_edge(int(u), int(v)):
+                inc.remove_edge(int(u), int(v))
+            else:
+                inc.insert_edge(int(u), int(v))
+            assert inc.count == _recount(inc)
+
+    def test_insert_then_remove_is_identity(self):
+        g = erdos_renyi(30, 5.0, seed=2)
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        base = inc.count
+        d1 = inc.insert_edge(0, 1) if not inc.has_edge(0, 1) else 0
+        d2 = inc.remove_edge(0, 1)
+        assert d1 + d2 == 0 or inc.count == base
+
+    def test_duplicate_insert_is_noop(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        assert inc.insert_edge(0, 1) == 0
+        assert inc.updates_applied == 0
+
+    def test_missing_remove_is_noop(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        assert inc.remove_edge(1, 2) == 0
+
+    def test_triangle_closure_delta(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        assert inc.count == 0
+        assert inc.insert_edge(0, 2) == 1
+        assert inc.count == 1
+        assert inc.remove_edge(0, 1) == -1
+        assert inc.count == 0
+
+    def test_self_loop_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        with pytest.raises(GraphFormatError):
+            inc.insert_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        inc = IncrementalGPM(g, PATTERNS["3CF"])
+        with pytest.raises(GraphFormatError):
+            inc.insert_edge(0, 7)
+
+    def test_induced_pattern_can_lose_embeddings_on_insert(self):
+        # path 0-1-2 is an induced wedge; closing it destroys the wedge
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        inc = IncrementalGPM(g, PATTERNS["WEDGE"], induced=True)
+        assert inc.count == 1
+        delta = inc.insert_edge(0, 2)
+        assert delta == -1
+        assert inc.count == 0

@@ -1,0 +1,85 @@
+"""Error hierarchy and public-API surface tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in (
+            "GraphFormatError",
+            "PatternError",
+            "PlanError",
+            "ConfigError",
+            "SimulationError",
+            "SchedulerError",
+            "MemoryModelError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.XSetError)
+
+    def test_plan_error_is_pattern_error(self):
+        assert issubclass(errors.PlanError, errors.PatternError)
+
+    def test_scheduler_and_memory_are_simulation_errors(self):
+        assert issubclass(errors.SchedulerError, errors.SimulationError)
+        assert issubclass(errors.MemoryModelError, errors.SimulationError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(errors.XSetError):
+            raise errors.SchedulerError("boom")
+
+
+class TestPackageSurface:
+    def test_all_subpackages_import(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.cli
+        import repro.core
+        import repro.graph
+        import repro.hw
+        import repro.memory
+        import repro.patterns
+        import repro.sched
+        import repro.setops
+        import repro.sim
+        import repro.siu  # noqa: F401
+
+    def test_dunder_all_resolves(self):
+        """Every name exported in __all__ must actually exist."""
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.graph
+        import repro.hw
+        import repro.memory
+        import repro.patterns
+        import repro.sched
+        import repro.setops
+        import repro.sim
+        import repro.siu
+
+        for module in (
+            repro.analysis, repro.baselines, repro.core, repro.graph,
+            repro.hw, repro.memory, repro.patterns, repro.sched,
+            repro.setops, repro.sim, repro.siu,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_docstrings(self):
+        """Every public class/function in the core API carries a docstring."""
+        import inspect
+
+        import repro.core as core
+
+        for name in core.__all__:
+            obj = getattr(core, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, name

@@ -1,0 +1,181 @@
+"""Tests for the graph algorithm toolbox (k-core, components, clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, erdos_renyi
+from repro.graph.algorithms import (
+    connected_components,
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    global_clustering,
+    k_core,
+    largest_component,
+    relabeled_by_degeneracy,
+)
+
+
+def _oracle_core_numbers(graph: CSRGraph) -> list[int]:
+    """Naive iterative peeling oracle."""
+    n = graph.num_vertices
+    alive = [True] * n
+    deg = [graph.degree(v) for v in range(n)]
+    core = [0] * n
+    k = 0
+    remaining = n
+    while remaining:
+        progressed = True
+        while progressed:
+            progressed = False
+            for v in range(n):
+                if alive[v] and deg[v] <= k:
+                    core[v] = k
+                    alive[v] = False
+                    remaining -= 1
+                    progressed = True
+                    for w in graph.neighbors(v):
+                        w = int(w)
+                        if alive[w]:
+                            deg[w] -= 1
+        k += 1
+    return core
+
+
+class TestCoreNumbers:
+    def test_triangle_with_tail(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 2), (0, 3)])
+        core = core_numbers(g)
+        assert core.tolist() == [2, 2, 2, 1]
+
+    def test_clique(self):
+        from itertools import combinations
+
+        g = CSRGraph.from_edges(5, list(combinations(range(5), 2)))
+        assert core_numbers(g).tolist() == [4] * 5
+
+    def test_against_oracle_random(self):
+        for seed in range(5):
+            g = erdos_renyi(40, 5.0, seed=seed)
+            assert core_numbers(g).tolist() == _oracle_core_numbers(g)
+
+    def test_empty(self):
+        g = CSRGraph.empty(3)
+        assert core_numbers(g).tolist() == [0, 0, 0]
+
+    def test_degeneracy_value(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 2), (0, 3)])
+        assert degeneracy(g) == 2
+
+
+class TestDegeneracyOrder:
+    def test_is_permutation(self, small_er):
+        order = degeneracy_order(small_er)
+        assert sorted(order.tolist()) == list(range(small_er.num_vertices))
+
+    def test_peels_low_core_first(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (3, 4)])
+        order = degeneracy_order(g).tolist()
+        core = core_numbers(g)
+        cores_in_order = [int(core[v]) for v in order]
+        assert cores_in_order == sorted(cores_in_order)
+
+    def test_relabel_preserves_counts(self, small_er):
+        from repro.patterns import PATTERNS, build_plan, count_embeddings
+
+        relabeled = relabeled_by_degeneracy(small_er)
+        plan = build_plan(PATTERNS["3CF"])
+        assert (
+            count_embeddings(relabeled, plan).embeddings
+            == count_embeddings(small_er, plan).embeddings
+        )
+
+
+class TestKCore:
+    def test_extracts_dense_part(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]
+        g = CSRGraph.from_edges(5, edges)
+        core2 = k_core(g, 2)
+        assert core2.num_vertices == 3
+        assert core2.num_edges == 3
+
+    def test_k_zero_is_everything(self, small_er):
+        assert k_core(small_er, 0).num_vertices == small_er.num_vertices
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3] == comp[4]
+        assert comp[0] != comp[2]
+
+    def test_isolated_vertices_get_ids(self):
+        g = CSRGraph.empty(3)
+        assert len(set(connected_components(g).tolist())) == 3
+
+    def test_largest_component(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        big = largest_component(g)
+        assert big.num_vertices == 3
+        assert big.num_edges == 3
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert global_clustering(g) == 0.0
+
+    def test_bounded(self, small_er):
+        c = global_clustering(small_er)
+        assert 0.0 <= c <= 1.0
+
+
+class TestOptimizer:
+    def test_optimized_plans_stay_correct(self, small_er):
+        from repro.patterns import PATTERNS, build_plan, count_embeddings
+        from repro.patterns.optimizer import optimize_plan
+
+        for name in ("DIA", "TT", "CYC", "HOUSE"):
+            plan = optimize_plan(PATTERNS[name], small_er)
+            want = count_embeddings(
+                small_er, build_plan(PATTERNS[name])
+            ).embeddings
+            assert count_embeddings(small_er, plan).embeddings == want
+
+    def test_cost_estimate_positive(self, small_er):
+        from repro.graph import graph_stats
+        from repro.patterns import PATTERNS, build_plan
+        from repro.patterns.optimizer import estimate_plan_cost
+
+        est = estimate_plan_cost(
+            build_plan(PATTERNS["4CF"]), graph_stats(small_er)
+        )
+        assert est.cost > 0
+        assert est.expected_tasks >= small_er.num_vertices
+
+    def test_deeper_pattern_costs_more(self, small_er):
+        from repro.graph import graph_stats
+        from repro.patterns import PATTERNS, build_plan
+        from repro.patterns.optimizer import estimate_plan_cost
+
+        stats = graph_stats(small_er)
+        c3 = estimate_plan_cost(build_plan(PATTERNS["3CF"]), stats).cost
+        c5 = estimate_plan_cost(build_plan(PATTERNS["5CF"]), stats).cost
+        assert c5 > c3
+
+    def test_oversized_pattern_rejected(self, small_er):
+        from itertools import combinations
+
+        from repro.errors import PlanError
+        from repro.patterns import Pattern
+        from repro.patterns.optimizer import optimize_plan
+
+        big = Pattern("K9", 9, tuple(combinations(range(9), 2)))
+        with pytest.raises(PlanError):
+            optimize_plan(big, small_er)

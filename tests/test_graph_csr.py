@@ -1,0 +1,136 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, edges_to_csr
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, toy_graph):
+        assert toy_graph.num_vertices == 6
+        assert toy_graph.num_edges == 10
+
+    def test_rows_sorted(self, toy_graph):
+        for v in range(toy_graph.num_vertices):
+            row = toy_graph.neighbors(v)
+            assert np.all(np.diff(row) > 0)
+
+    def test_symmetric(self, toy_graph):
+        for u in range(toy_graph.num_vertices):
+            for v in toy_graph.neighbors(u):
+                assert toy_graph.has_edge(int(v), u)
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicate_edges_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.neighbors(0).size == 0
+
+    def test_no_vertices(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, [(0, 3)])
+
+    def test_negative_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(3, [(-1, 0)])
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                indptr=np.array([0, 2]),
+                indices=np.array([1], dtype=np.int32),
+            )
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                indptr=np.array([0, 2, 1, 3]),
+                indices=np.array([1, 2, 0], dtype=np.int32),
+            )
+
+
+class TestQueries:
+    def test_degrees(self, toy_graph):
+        assert toy_graph.degree(0) == 3
+        assert toy_graph.degree(5) == 2
+        assert toy_graph.degrees.sum() == 2 * toy_graph.num_edges
+
+    def test_has_edge(self, toy_graph):
+        assert toy_graph.has_edge(0, 1)
+        assert not toy_graph.has_edge(0, 5)
+
+    def test_edges_each_once(self, toy_graph):
+        edges = list(toy_graph.edges())
+        assert len(edges) == toy_graph.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_neighbors_view_is_readonly_slice(self, toy_graph):
+        row = toy_graph.neighbors(2)
+        assert row.base is toy_graph.indices
+
+    def test_row_extent(self, toy_graph):
+        addr, length = toy_graph.row_extent(3)
+        assert length == toy_graph.degree(3)
+        assert addr == toy_graph.base_address + int(toy_graph.indptr[3])
+
+
+class TestTransforms:
+    def test_degree_relabel_preserves_structure(self, small_er):
+        relabeled = small_er.relabeled_by_degree()
+        assert relabeled.num_vertices == small_er.num_vertices
+        assert relabeled.num_edges == small_er.num_edges
+        assert sorted(relabeled.degrees) == sorted(small_er.degrees)
+
+    def test_degree_relabel_descending(self, small_er):
+        relabeled = small_er.relabeled_by_degree()
+        degs = relabeled.degrees
+        assert all(degs[i] >= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_degree_relabel_ascending(self, small_er):
+        relabeled = small_er.relabeled_by_degree(descending=False)
+        degs = relabeled.degrees
+        assert all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_induced_subgraph(self, toy_graph):
+        sub = toy_graph.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle 0-1-2
+
+    def test_induced_subgraph_empty_selection(self, toy_graph):
+        sub = toy_graph.induced_subgraph([])
+        assert sub.num_vertices == 0
+
+
+class TestEdgesToCSR:
+    def test_roundtrip_random(self, rng):
+        n = 40
+        pairs = set()
+        for _ in range(100):
+            u, v = rng.integers(0, n, 2)
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+        indptr, indices = edges_to_csr(n, pairs)
+        g = CSRGraph(indptr=indptr, indices=indices)
+        assert g.num_edges == len(pairs)
+        assert set(g.edges()) == {(int(u), int(v)) for u, v in pairs}
+
+    def test_empty_edges(self):
+        indptr, indices = edges_to_csr(4, [])
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+        assert indices.size == 0

@@ -1,0 +1,110 @@
+"""NetworkX interop tests (cross-validated against networkx itself)."""
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.errors import GraphFormatError
+from repro.graph import erdos_renyi
+from repro.graph.interop import from_networkx, to_networkx
+from repro.patterns import PATTERNS, build_plan, count_embeddings
+
+
+class TestFromNetworkx:
+    def test_roundtrip_structure(self):
+        g_nx = nx.karate_club_graph()
+        g, mapping = from_networkx(g_nx)
+        assert g.num_vertices == g_nx.number_of_nodes()
+        assert g.num_edges == g_nx.number_of_edges()
+        assert len(mapping) == g.num_vertices
+
+    def test_triangle_count_matches_networkx(self):
+        g_nx = nx.karate_club_graph()
+        g, _ = from_networkx(g_nx)
+        ours = count_embeddings(g, build_plan(PATTERNS["3CF"])).embeddings
+        theirs = sum(nx.triangles(g_nx).values()) // 3
+        assert ours == theirs
+
+    def test_arbitrary_node_ids(self):
+        g_nx = nx.Graph()
+        g_nx.add_edges_from([("alice", "bob"), ("bob", ("tuple", 1))])
+        g, mapping = from_networkx(g_nx)
+        assert g.num_vertices == 3
+        assert g.has_edge(mapping["alice"], mapping["bob"])
+
+    def test_label_attribute_interned(self):
+        g_nx = nx.Graph()
+        g_nx.add_edges_from([(0, 1), (1, 2)])
+        for node, kind in ((0, "user"), (1, "item"), (2, "user")):
+            g_nx.nodes[node]["kind"] = kind
+        g, mapping = from_networkx(g_nx, label_attr="kind")
+        assert g.labels is not None
+        assert g.labels[mapping[0]] == g.labels[mapping[2]]
+        assert g.labels[mapping[0]] != g.labels[mapping[1]]
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+
+class TestToNetworkx:
+    def test_roundtrip(self, small_er):
+        g_nx = to_networkx(small_er)
+        back, mapping = from_networkx(g_nx)
+        assert back.num_edges == small_er.num_edges
+
+    def test_labels_exported(self):
+        g = erdos_renyi(10, 3.0, seed=1).with_labels(np.arange(10) % 2)
+        g_nx = to_networkx(g)
+        assert g_nx.nodes[0]["label"] in (0, 1)
+
+    def test_isomorphic(self, small_er):
+        g_nx = to_networkx(small_er)
+        assert g_nx.number_of_nodes() == small_er.num_vertices
+        assert g_nx.number_of_edges() == small_er.num_edges
+
+
+class TestAgainstNetworkxOracles:
+    """Independent oracle checks using networkx's own algorithms."""
+
+    def test_clustering_matches(self, small_er):
+        from repro.graph import global_clustering
+
+        ours = global_clustering(small_er)
+        theirs = nx.transitivity(to_networkx(small_er))
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_core_numbers_match(self, small_er):
+        from repro.graph import core_numbers
+
+        ours = core_numbers(small_er)
+        theirs = nx.core_number(to_networkx(small_er))
+        assert all(ours[v] == theirs[v] for v in theirs)
+
+    def test_components_match(self):
+        from repro.graph import connected_components
+
+        g = erdos_renyi(60, 1.5, seed=5)
+        comp = connected_components(g)
+        ours = len(set(comp.tolist()))
+        theirs = nx.number_connected_components(to_networkx(g))
+        assert ours == theirs
+
+    @pytest.mark.parametrize("name", ["4CF", "DIA"])
+    def test_subgraph_counts_vs_networkx_isomorphism(self, name):
+        from repro.patterns import count_unique_embeddings
+
+        g = erdos_renyi(22, 6.0, seed=9)
+        pat = PATTERNS[name]
+        plan = build_plan(pat)
+        ours = count_embeddings(g, plan).embeddings
+        pattern_nx = nx.Graph(list(pat.edge_list))
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            to_networkx(g), pattern_nx
+        )
+        theirs = (
+            sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+            // pat.automorphism_count()
+        )
+        assert ours == theirs

@@ -1,0 +1,127 @@
+"""Tests for graph statistics, edge-list I/O, and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    DATASETS,
+    CSRGraph,
+    dataset_names,
+    dataset_table,
+    degree_skewness,
+    graph_stats,
+    load_dataset,
+    load_edge_list,
+    save_edge_list,
+)
+
+
+class TestStats:
+    def test_skewness_symmetric_is_zero(self):
+        assert degree_skewness(np.array([1, 2, 3, 4, 5])) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_skewness_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        x = rng.exponential(2.0, size=400)
+        assert degree_skewness(x) == pytest.approx(
+            float(scipy_stats.skew(x, bias=False)), rel=1e-9
+        )
+
+    def test_skewness_degenerate(self):
+        assert degree_skewness(np.array([2, 2])) == 0.0
+        assert degree_skewness(np.array([3, 3, 3, 3])) == 0.0
+
+    def test_graph_stats_avg_degree_convention(self, toy_graph):
+        st = graph_stats(toy_graph)
+        # Table 3 reports Avg Deg as m/n
+        assert st.avg_degree == pytest.approx(
+            toy_graph.num_edges / toy_graph.num_vertices
+        )
+        assert st.max_degree == int(toy_graph.degrees.max())
+
+    def test_stats_row_formatting(self, toy_graph):
+        row = graph_stats(toy_graph).row()
+        assert "fig1a" in row
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, small_er):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_er, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == small_er.num_edges
+        assert set(loaded.edges()) == set(small_er.edges())
+
+    def test_gzip_roundtrip(self, tmp_path, toy_graph):
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(toy_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == toy_graph.num_edges
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\n0 1\n% other comment\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_ids_compacted(self, tmp_path):
+        path = tmp_path / "sparse_ids.txt"
+        path.write_text("100 900\n900 5000\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestDatasets:
+    def test_registry_has_seven(self):
+        assert len(DATASETS) == 7
+        assert dataset_names() == ["PP", "WV", "AS", "MI", "YT", "PA", "LJ"]
+
+    def test_load_small_scale(self):
+        g = load_dataset("PP", scale=0.1)
+        assert isinstance(g, CSRGraph)
+        assert g.name == "PP"
+        assert g.num_vertices >= 64
+
+    def test_caching(self):
+        a = load_dataset("WV", scale=0.1)
+        b = load_dataset("WV", scale=0.1)
+        assert a is b
+
+    def test_case_insensitive_key(self):
+        assert load_dataset("pp", scale=0.1).name == "PP"
+
+    def test_degree_ordered(self):
+        g = load_dataset("YT", scale=0.1)
+        degs = g.degrees
+        assert all(degs[i] >= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_avg_degree_tracks_spec(self):
+        spec = DATASETS["WV"]
+        g = load_dataset("WV", scale=0.5)
+        st = graph_stats(g)
+        assert st.avg_degree == pytest.approx(spec.avg_degree, rel=0.35)
+
+    def test_skew_ordering_matches_paper(self):
+        """YT must be the most skewed stand-in, as in Table 3."""
+        table = {s.name: s for s in dataset_table(scale=0.25)}
+        assert table["YT"].skew == max(s.skew for s in table.values())
+
+    def test_table_rows_in_order(self):
+        names = [s.name for s in dataset_table(scale=0.1)]
+        assert names == dataset_names()

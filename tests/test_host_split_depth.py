@@ -1,0 +1,51 @@
+"""Host/hardware work splitting for over-deep patterns (paper §4.2)."""
+
+import pytest
+
+from repro.core import xset_default
+from repro.graph import erdos_renyi
+from repro.patterns import PATTERNS, Pattern, build_plan, count_embeddings
+from repro.sim import run_on_soc
+
+
+@pytest.fixture(scope="module")
+def dense40():
+    return erdos_renyi(40, 10.0, seed=21, name="dense40")
+
+
+class TestDepthSplit:
+    @pytest.mark.parametrize("max_hw", [1, 2, 3])
+    def test_any_split_point_is_exact(self, max_hw, dense40):
+        plan = build_plan(PATTERNS["5CF"])
+        want = count_embeddings(dense40, plan).embeddings
+        cfg = xset_default(max_hw_levels=max_hw, name=f"hw{max_hw}")
+        assert run_on_soc(dense40, plan, cfg).embeddings == want
+
+    def test_host_cycles_grow_as_hw_shrinks(self, dense40):
+        plan = build_plan(PATTERNS["5CF"])
+        shallow = run_on_soc(
+            dense40, plan, xset_default(max_hw_levels=2, name="hw2")
+        )
+        deep = run_on_soc(
+            dense40, plan, xset_default(max_hw_levels=8, name="hw8")
+        )
+        assert shallow.host_cycles > deep.host_cycles
+        assert shallow.tasks < deep.tasks  # prefix executed on the host
+
+    def test_six_clique_beyond_default(self, dense40):
+        """A 6-vertex pattern still counts exactly through the whole stack."""
+        from repro.patterns import count_unique_embeddings
+
+        k6 = Pattern.clique(6)
+        plan = build_plan(k6)
+        want = count_unique_embeddings(dense40, k6)
+        got = run_on_soc(
+            dense40, plan, xset_default(max_hw_levels=3, name="hw3")
+        )
+        assert got.embeddings == want
+
+    def test_induced_pattern_split(self, dense40):
+        plan = build_plan(PATTERNS["CYC"])  # induced, uses set_diff
+        want = count_embeddings(dense40, plan).embeddings
+        cfg = xset_default(max_hw_levels=1, name="hw1")
+        assert run_on_soc(dense40, plan, cfg).embeddings == want

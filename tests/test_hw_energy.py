@@ -1,0 +1,61 @@
+"""Tests for the workload energy model."""
+
+import pytest
+
+from repro.core import XSetAccelerator, xset_default
+from repro.graph import erdos_renyi
+from repro.hw import EnergyReport, estimate_energy
+from repro.patterns import PATTERNS
+
+
+@pytest.fixture(scope="module")
+def run_and_config():
+    g = erdos_renyi(120, 10.0, seed=9)
+    cfg = xset_default()
+    report = XSetAccelerator(cfg).count(g, PATTERNS["3CF"])
+    return report, cfg
+
+
+class TestEnergy:
+    def test_positive_components(self, run_and_config):
+        report, cfg = run_and_config
+        e = estimate_energy(report, cfg)
+        for key, val in e.breakdown().items():
+            assert val >= 0, key
+        assert e.total_uj > 0
+
+    def test_total_is_sum(self, run_and_config):
+        report, cfg = run_and_config
+        e = estimate_energy(report, cfg)
+        assert e.total_uj == pytest.approx(sum(e.breakdown().values()))
+
+    def test_energy_per_embedding(self, run_and_config):
+        report, cfg = run_and_config
+        e = estimate_energy(report, cfg)
+        assert e.nj_per_embedding == pytest.approx(
+            e.total_uj * 1e3 / report.embeddings
+        )
+
+    def test_zero_embeddings_is_inf(self):
+        e = EnergyReport(0.1, 0.1, 0.1, 0.1, 0.1, embeddings=0)
+        assert e.nj_per_embedding == float("inf")
+
+    def test_sma_costs_more_compute_energy(self):
+        g = erdos_renyi(120, 10.0, seed=9)
+        oa_cfg = xset_default()
+        sma_cfg = xset_default(siu_kind="sma", name="sma")
+        oa = estimate_energy(
+            XSetAccelerator(oa_cfg).count(g, PATTERNS["3CF"]), oa_cfg
+        )
+        sma = estimate_energy(
+            XSetAccelerator(sma_cfg).count(g, PATTERNS["3CF"]), sma_cfg
+        )
+        assert sma.compute_uj > oa.compute_uj
+
+    def test_more_work_more_energy(self):
+        g = erdos_renyi(120, 10.0, seed=9)
+        cfg = xset_default()
+        accel = XSetAccelerator(cfg)
+        e3 = estimate_energy(accel.count(g, PATTERNS["3CF"]), cfg)
+        e4 = estimate_energy(accel.count(g, PATTERNS["4CF"]), cfg)
+        assert e4.total_uj > e3.total_uj

@@ -1,0 +1,122 @@
+"""End-to-end architectural shape tests at small scale.
+
+These assert — on graphs small enough for the unit-test budget — the same
+qualitative findings the benchmark harness reproduces at larger scale.
+"""
+
+import pytest
+
+from repro.core import XSetAccelerator, xset_default
+from repro.graph import load_dataset, powerlaw_graph
+from repro.patterns import PATTERNS, build_plan
+from repro.sim import run_on_soc
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return powerlaw_graph(
+        600, avg_degree=16.0, max_degree=150, seed=21, name="dense",
+        triangle_boost=0.4,
+    ).relabeled_by_degree()
+
+
+class TestSIUShapes:
+    def test_order_aware_beats_merge_end_to_end_on_dense(self, dense_graph):
+        """Long neighbour lists: N-per-cycle throughput must win."""
+        plan = build_plan(PATTERNS["3CF"])
+        oa = run_on_soc(dense_graph, plan, xset_default(
+            num_pes=1, sius_per_pe=1, name="oa1"))
+        mq = run_on_soc(dense_graph, plan, xset_default(
+            num_pes=1, sius_per_pe=1, siu_kind="merge", segment_width=1,
+            name="mq1"))
+        assert oa.cycles < mq.cycles
+
+    def test_order_aware_beats_sma_end_to_end(self, dense_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        oa = run_on_soc(dense_graph, plan, xset_default(
+            num_pes=1, sius_per_pe=1, name="oa1"))
+        sma = run_on_soc(dense_graph, plan, xset_default(
+            num_pes=1, sius_per_pe=1, siu_kind="sma", name="sma1"))
+        assert oa.cycles <= sma.cycles
+
+    def test_fewer_comparisons_than_sma(self, dense_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        oa = run_on_soc(dense_graph, plan, xset_default(name="oa"))
+        sma = run_on_soc(dense_graph, plan, xset_default(
+            siu_kind="sma", name="sma"))
+        assert oa.comparisons < sma.comparisons
+
+
+class TestBitmapShapes:
+    def test_bitmap_reduces_words(self, dense_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        b8 = run_on_soc(dense_graph, plan, xset_default(name="b8"))
+        b0 = run_on_soc(dense_graph, plan, xset_default(
+            bitmap_width=0, name="b0"))
+        assert b8.words_in < b0.words_in
+        assert b8.embeddings == b0.embeddings
+
+    def test_bitmap_not_slower(self, dense_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        b8 = run_on_soc(dense_graph, plan, xset_default(name="b8"))
+        b0 = run_on_soc(dense_graph, plan, xset_default(
+            bitmap_width=0, name="b0"))
+        assert b8.cycles <= b0.cycles * 1.05
+
+
+class TestSchedulerShapes:
+    def test_barrier_free_highest_utilization(self, skewed_graph):
+        plan = build_plan(PATTERNS["4CF"])
+        utils = {}
+        for sched in ("barrier-free", "dfs"):
+            cfg = xset_default(scheduler=sched, name=sched)
+            utils[sched] = run_on_soc(skewed_graph, plan, cfg
+                                      ).siu_utilization
+        assert utils["barrier-free"] > utils["dfs"]
+
+    def test_task_set_capacity_respected(self, skewed_graph):
+        cfg = xset_default(num_task_sets=8, name="cap8")
+        report = run_on_soc(skewed_graph, build_plan(PATTERNS["4CF"]), cfg)
+        assert report.peak_active_task_sets <= 8
+
+    def test_tiny_capacity_still_correct(self, skewed_graph):
+        plan = build_plan(PATTERNS["4CF"])
+        tiny = run_on_soc(skewed_graph, plan, xset_default(
+            num_task_sets=1, task_set_width=1, name="tiny"))
+        full = run_on_soc(skewed_graph, plan, xset_default())
+        assert tiny.embeddings == full.embeddings
+        assert tiny.cycles >= full.cycles
+
+
+class TestMemoryShapes:
+    # cache sizes are scaled with the stand-in graphs: a 0.25-scale WV has a
+    # ~200 KB working set, so 64 KB is the pressured point and 1 MB is ample
+    def test_bigger_shared_cache_not_slower_under_pressure(self):
+        g = load_dataset("WV", scale=0.25)
+        plan = build_plan(PATTERNS["3CF"])
+        small = run_on_soc(g, plan, xset_default(shared_mb=1 / 16,
+                                                 name="s64k"))
+        big = run_on_soc(g, plan, xset_default(shared_mb=1.0, name="s1m"))
+        assert big.cycles <= small.cycles * 1.02
+
+    def test_dram_traffic_drops_with_shared_cache(self):
+        g = load_dataset("WV", scale=0.25)
+        plan = build_plan(PATTERNS["3CF"])
+        small = run_on_soc(g, plan, xset_default(shared_mb=1 / 16,
+                                                 name="s64k"))
+        big = run_on_soc(g, plan, xset_default(shared_mb=1.0, name="s1m"))
+        assert big.dram_bytes < small.dram_bytes
+
+
+class TestMultiPattern:
+    def test_3mf_transformation_identity(self, medium_er):
+        """#wedges(non-induced) == #induced wedges + 3 * #triangles."""
+        accel = XSetAccelerator()
+        tri = accel.count(medium_er, PATTERNS["3CF"]).embeddings
+        wedge_ind = accel.count(
+            medium_er, PATTERNS["WEDGE"], induced=True
+        ).embeddings
+        wedge_non = accel.count(
+            medium_er, PATTERNS["WEDGE"], induced=False
+        ).embeddings
+        assert wedge_non == wedge_ind + 3 * tri

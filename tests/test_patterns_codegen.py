@@ -1,0 +1,82 @@
+"""Task-list code generation and binary encoding tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.patterns import PATTERNS, build_plan
+from repro.patterns.codegen import (
+    TaskOp,
+    compile_task_list,
+    decode_task_op,
+    encode_task_op,
+    render_task_list,
+)
+
+ALL = ["3CF", "4CF", "5CF", "TT", "CYC", "DIA", "HOUSE", "WEDGE"]
+
+
+class TestCompile:
+    def test_triangle_ops(self):
+        ops = compile_task_list(build_plan(PATTERNS["3CF"]))
+        assert [o.opcode for o in ops] == ["load", "set_int"]
+        leaf = ops[-1]
+        assert leaf.count_only and not leaf.store
+        assert leaf.filter_lt == 1  # u2 < u1
+
+    def test_clique_chain_uses_stored_sets(self):
+        ops = compile_task_list(build_plan(PATTERNS["5CF"]))
+        stored_srcs = [o for o in ops if o.src_a[0] == "S"]
+        assert len(stored_srcs) >= 2  # prefix reuse compiled through
+
+    def test_induced_cycle_has_set_diff(self):
+        ops = compile_task_list(build_plan(PATTERNS["CYC"]))
+        assert any(o.opcode == "set_diff" for o in ops)
+
+    def test_diamond_choose2_stops_early(self):
+        ops = compile_task_list(build_plan(PATTERNS["DIA"]))
+        assert max(o.level for o in ops) == 2  # levels 3 collapsed by IEP
+
+    def test_internal_levels_store(self):
+        ops = compile_task_list(build_plan(PATTERNS["4CF"]))
+        internal = [o for o in ops if o.level < max(p.level for p in ops)]
+        assert all(o.store for o in internal if o.src_b is None or True)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_every_pattern_compiles(self, name):
+        ops = compile_task_list(build_plan(PATTERNS[name]))
+        assert ops
+        assert ops[-1].count_only
+
+
+class TestRender:
+    def test_figure10e_style(self):
+        ops = compile_task_list(build_plan(PATTERNS["3CF"]))
+        text = ops[-1].render()
+        assert text.startswith("R[2] <- set_int")
+        assert "filter<u1" in text
+        assert "count_only" in text
+
+    def test_full_listing_has_rocc_flow(self):
+        text = render_task_list(build_plan(PATTERNS["DIA"]))
+        assert "xset_config" in text
+        assert "xset_run" in text
+        assert "xset_poll" in text
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("name", ALL)
+    def test_roundtrip_every_pattern(self, name):
+        for op in compile_task_list(build_plan(PATTERNS[name])):
+            assert decode_task_op(encode_task_op(op)) == op
+
+    def test_word_is_compact(self):
+        ops = compile_task_list(build_plan(PATTERNS["5CF"]))
+        assert all(encode_task_op(o) < (1 << 25) for o in ops)
+
+    def test_out_of_range_rejected(self):
+        bad = TaskOp(
+            level=1, opcode="load", src_a=("S", 12), src_b=None,
+            filter_lt=None, filter_gt=None, count_only=False, store=True,
+        )
+        with pytest.raises(PlanError):
+            encode_task_op(bad)

@@ -1,0 +1,124 @@
+"""Tests for pattern graphs and the registry."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import PATTERNS, Pattern, motif_patterns
+
+
+class TestRegistry:
+    def test_paper_patterns_present(self):
+        for name in ("3CF", "4CF", "5CF", "TT", "CYC", "DIA"):
+            assert name in PATTERNS
+
+    def test_clique_edge_counts(self):
+        assert PATTERNS["3CF"].num_edges == 3
+        assert PATTERNS["4CF"].num_edges == 6
+        assert PATTERNS["5CF"].num_edges == 10
+
+    def test_diamond_shape(self):
+        dia = PATTERNS["DIA"]
+        assert dia.num_vertices == 4
+        assert dia.num_edges == 5
+        degs = sorted(dia.degree(v) for v in range(4))
+        assert degs == [2, 2, 3, 3]
+
+    def test_tailed_triangle_shape(self):
+        tt = PATTERNS["TT"]
+        degs = sorted(tt.degree(v) for v in range(4))
+        assert degs == [1, 2, 2, 3]
+
+    def test_cycle_shape(self):
+        cyc = PATTERNS["CYC"]
+        assert all(cyc.degree(v) == 2 for v in range(4))
+
+
+class TestConstruction:
+    def test_from_edges_infers_size(self):
+        p = Pattern.from_edges("path", [(0, 1), (1, 2)])
+        assert p.num_vertices == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_edges("bad", [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("bad", 2, ((0, 1), (1, 0)))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("bad", 4, ((0, 1), (2, 3)))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern("bad", 2, ((0, 2),))
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_edges("bad", [])
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.cycle(2)
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize(
+        "name,count",
+        [
+            ("3CF", 6),     # S3
+            ("4CF", 24),    # S4
+            ("5CF", 120),   # S5
+            ("CYC", 8),     # dihedral D4
+            ("DIA", 4),     # swap chord ends x swap wings
+            ("TT", 2),      # swap the two free triangle vertices
+            ("WEDGE", 2),
+            ("P3", 2),
+            ("C5", 10),
+        ],
+    )
+    def test_known_group_orders(self, name, count):
+        assert PATTERNS[name].automorphism_count() == count
+
+    def test_automorphisms_preserve_edges(self):
+        p = PATTERNS["DIA"]
+        for sigma in p.automorphisms():
+            for u, v in p.edge_list:
+                assert p.adjacent(sigma[u], sigma[v])
+
+    def test_relabeled_isomorphic(self):
+        p = PATTERNS["TT"]
+        q = p.relabeled([3, 2, 1, 0])
+        assert q.automorphism_count() == p.automorphism_count()
+        assert q.num_edges == p.num_edges
+
+    def test_relabel_requires_permutation(self):
+        with pytest.raises(PatternError):
+            PATTERNS["3CF"].relabeled([0, 0, 1])
+
+
+class TestQueries:
+    def test_neighbors(self):
+        dia = PATTERNS["DIA"]
+        assert set(dia.neighbors(0)) == {1, 2, 3}
+
+    def test_adjacent_symmetric(self):
+        p = PATTERNS["HOUSE"]
+        for u in range(p.num_vertices):
+            for v in range(p.num_vertices):
+                assert p.adjacent(u, v) == p.adjacent(v, u)
+
+
+class TestMotifEnumeration:
+    def test_three_vertex_motifs(self):
+        motifs = motif_patterns(3)
+        assert len(motifs) == 2  # wedge + triangle
+
+    def test_four_vertex_motifs(self):
+        motifs = motif_patterns(4)
+        assert len(motifs) == 6  # path, star, cycle, tailed-tri, diamond, K4
+
+    def test_invalid_size(self):
+        with pytest.raises(PatternError):
+            motif_patterns(9)

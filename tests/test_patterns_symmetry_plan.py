@@ -1,0 +1,185 @@
+"""Symmetry breaking and plan generation: the correctness heart of GPM.
+
+The load-bearing property: for every pattern and graph,
+``plan count == labelled embeddings / |Aut(P)|`` — restrictions admit
+exactly one representative per automorphism orbit (GraphZero's theorem).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.graph import erdos_renyi
+from repro.patterns import (
+    PATTERNS,
+    Restriction,
+    build_plan,
+    choose_order,
+    count_embeddings,
+    count_unique_embeddings,
+    motif_patterns,
+    symmetry_restrictions,
+)
+
+ALL_PATTERNS = ["3CF", "4CF", "5CF", "TT", "CYC", "DIA", "WEDGE", "HOUSE",
+                "C5", "P3"]
+
+
+class TestRestrictions:
+    def test_diamond_matches_paper(self):
+        """Figure 1b: the diamond needs exactly two restrictions."""
+        rs = symmetry_restrictions(PATTERNS["DIA"])
+        assert len(rs) == 2
+
+    def test_triangle_total_order(self):
+        rs = symmetry_restrictions(PATTERNS["3CF"])
+        assert set(rs) == {
+            Restriction(0, 1), Restriction(0, 2), Restriction(1, 2)
+        }
+
+    def test_no_restrictions_for_asymmetric_pattern(self):
+        from repro.patterns import Pattern
+
+        # a triangle with one tail on vertex 0 and a 2-path tail on vertex 1
+        p = Pattern.from_edges(
+            "asym", [(0, 1), (0, 2), (1, 2), (0, 3), (1, 4), (4, 5)]
+        )
+        assert p.automorphism_count() == 1
+        assert symmetry_restrictions(p) == ()
+
+    def test_greater_is_min_moved_vertex(self):
+        for name in ALL_PATTERNS:
+            for r in symmetry_restrictions(PATTERNS[name]):
+                assert r.greater < r.smaller  # index-wise, by construction
+
+
+class TestOrders:
+    @pytest.mark.parametrize("name", ALL_PATTERNS)
+    def test_orders_are_connected(self, name):
+        p = PATTERNS[name]
+        order = choose_order(p)
+        assert sorted(order) == list(range(p.num_vertices))
+        for i in range(1, len(order)):
+            assert any(p.adjacent(order[j], order[i]) for j in range(i))
+
+    def test_starts_at_max_degree(self):
+        assert choose_order(PATTERNS["TT"])[0] == 0  # the degree-3 vertex
+
+
+class TestPlanCorrectness:
+    @pytest.mark.parametrize("name", ALL_PATTERNS)
+    def test_count_equals_bruteforce(self, name, small_er):
+        pat = PATTERNS[name]
+        plan = build_plan(pat)
+        got = count_embeddings(small_er, plan).embeddings
+        want = count_unique_embeddings(small_er, pat, induced=plan.induced)
+        assert got == want
+
+    @pytest.mark.parametrize("name", ["3CF", "DIA", "CYC", "TT"])
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_both_semantics(self, name, induced, small_er):
+        pat = PATTERNS[name]
+        plan = build_plan(pat, induced=induced)
+        got = count_embeddings(small_er, plan).embeddings
+        want = count_unique_embeddings(small_er, pat, induced=induced)
+        assert got == want
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_diamond_property_random_graphs(self, seed):
+        g = erdos_renyi(16, 5.0, seed=seed)
+        plan = build_plan(PATTERNS["DIA"])
+        assert (
+            count_embeddings(g, plan).embeddings
+            == count_unique_embeddings(g, PATTERNS["DIA"])
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_cycle_induced_property_random_graphs(self, seed):
+        g = erdos_renyi(14, 5.0, seed=seed)
+        plan = build_plan(PATTERNS["CYC"])
+        assert plan.induced
+        assert (
+            count_embeddings(g, plan).embeddings
+            == count_unique_embeddings(g, PATTERNS["CYC"], induced=True)
+        )
+
+    def test_all_4_motifs_against_bruteforce(self, small_er):
+        for pat in motif_patterns(4):
+            plan = build_plan(pat, induced=True)
+            got = count_embeddings(small_er, plan).embeddings
+            want = count_unique_embeddings(small_er, pat, induced=True)
+            assert got == want, pat.name
+
+
+class TestPlanStructure:
+    def test_diamond_uses_choose2(self):
+        assert build_plan(PATTERNS["DIA"]).collection == "choose2"
+
+    def test_cliques_use_count_last(self):
+        for name in ("3CF", "4CF", "5CF"):
+            assert build_plan(PATTERNS[name]).collection == "count_last"
+
+    def test_clique_prefix_reuse_one_op_per_level(self):
+        plan = build_plan(PATTERNS["5CF"])
+        for lv in plan.levels[2:]:
+            assert lv.base == lv.position - 1
+            assert lv.num_set_ops == 1
+
+    def test_induced_cycle_has_difference_ops(self):
+        plan = build_plan(PATTERNS["CYC"])
+        assert any(lv.extra_anti or lv.anti_deps for lv in plan.levels)
+
+    def test_enumerate_collection(self):
+        plan = build_plan(PATTERNS["DIA"], collection="enumerate")
+        assert plan.collection == "enumerate"
+
+    def test_choose2_rejected_when_inapplicable(self):
+        with pytest.raises(PlanError):
+            build_plan(PATTERNS["3CF"], collection="choose2")
+
+    def test_bad_collection_rejected(self):
+        with pytest.raises(PlanError):
+            build_plan(PATTERNS["3CF"], collection="bogus")
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(PlanError):
+            build_plan(PATTERNS["3CF"], order=[0, 0, 1])
+
+    def test_custom_order_still_correct(self, small_er):
+        pat = PATTERNS["DIA"]
+        default = count_embeddings(small_er, build_plan(pat)).embeddings
+        for order in ([0, 1, 2, 3], [1, 0, 3, 2]):
+            plan = build_plan(pat, order=order)
+            assert count_embeddings(small_er, plan).embeddings == default
+
+    def test_describe_mentions_restrictions(self):
+        text = build_plan(PATTERNS["DIA"]).describe()
+        assert "restrictions" in text
+        assert "u0" in text
+
+
+class TestEnumeration:
+    def test_enumerated_embeddings_are_valid(self, small_er):
+        from repro.patterns import enumerate_embeddings
+
+        pat = PATTERNS["3CF"]
+        plan = build_plan(pat, collection="enumerate")
+        count = 0
+        for emb in enumerate_embeddings(small_er, plan):
+            count += 1
+            assert len(set(emb)) == 3
+            u, v, w = emb
+            assert small_er.has_edge(u, v)
+            assert small_er.has_edge(v, w)
+            assert small_er.has_edge(u, w)
+        assert count == count_unique_embeddings(small_er, pat)
+
+    def test_enumerate_requires_enumerate_plan(self, small_er):
+        from repro.patterns import enumerate_embeddings
+
+        plan = build_plan(PATTERNS["3CF"])
+        with pytest.raises(PlanError):
+            next(enumerate_embeddings(small_er, plan))

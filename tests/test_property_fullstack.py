@@ -1,0 +1,95 @@
+"""Full-stack property tests: random graphs × random patterns × simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import xset_default
+from repro.graph import erdos_renyi
+from repro.memory import MemoryConfig, MemoryHierarchy
+from repro.patterns import (
+    build_plan,
+    count_unique_embeddings,
+    motif_patterns,
+)
+from repro.sim import run_on_soc
+
+MOTIFS4 = motif_patterns(4)
+
+
+@given(
+    seed=st.integers(0, 1000),
+    motif_idx=st.integers(0, len(MOTIFS4) - 1),
+    induced=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_simulator_matches_oracle_random_motifs(seed, motif_idx, induced):
+    """Any 4-vertex pattern, any semantics, any random graph: exact counts."""
+    g = erdos_renyi(14, 4.0, seed=seed)
+    pattern = MOTIFS4[motif_idx]
+    plan = build_plan(pattern, induced=induced)
+    report = run_on_soc(g, plan, xset_default(num_pes=2))
+    assert report.embeddings == count_unique_embeddings(
+        g, pattern, induced=induced
+    )
+
+
+@given(
+    seed=st.integers(0, 100),
+    sius=st.integers(1, 4),
+    width=st.sampled_from([0, 4, 8]),
+    sched=st.sampled_from(["barrier-free", "pseudo-dfs", "dfs", "shogun"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_any_configuration_is_exact(seed, sius, width, sched):
+    g = erdos_renyi(20, 5.0, seed=seed)
+    pattern = MOTIFS4[2]
+    plan = build_plan(pattern, induced=False)
+    cfg = xset_default(
+        num_pes=2, sius_per_pe=sius, bitmap_width=width, scheduler=sched,
+        name="prop",
+    )
+    report = run_on_soc(g, plan, cfg)
+    assert report.embeddings == count_unique_embeddings(g, pattern)
+    assert report.cycles > 0
+
+
+class TestMemoryFuzz:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 3),                 # pe
+                st.integers(0, 1 << 20),           # word address
+                st.integers(0, 200),               # words
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stream_invariants(self, ops):
+        h = MemoryHierarchy(MemoryConfig(num_pes=4, private_kb=2,
+                                         shared_mb=1 / 16))
+        now = 0.0
+        for pe, addr, words in ops:
+            r = h.stream_read(now, pe, addr, words)
+            assert r.first_latency >= 0
+            assert r.stream_cycles >= 0
+            assert r.shared_misses <= r.private_misses <= r.lines
+            now += 1.0
+        # LRU occupancy never exceeds capacity
+        for cache in h.private:
+            assert cache.occupancy <= cache.config.num_lines
+        assert h.shared.occupancy <= h.shared.config.num_lines
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_rereads_never_slower(self, seed):
+        """A warm re-read of the same stream never costs more than cold."""
+        rng = np.random.default_rng(seed)
+        h = MemoryHierarchy(MemoryConfig(num_pes=1))
+        addr = int(rng.integers(0, 1 << 16)) * 16
+        words = int(rng.integers(1, 300))
+        cold = h.stream_read(0.0, 0, addr, words)
+        warm = h.stream_read(1000.0, 0, addr, words)
+        assert warm.total_cycles <= cold.total_cycles + 1e-9

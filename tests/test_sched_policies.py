@@ -1,0 +1,237 @@
+"""Unit tests for the scheduling policies (no simulator involved)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sched import (
+    BarrierFreeScheduler,
+    DFSScheduler,
+    PseudoDFSScheduler,
+    ShogunScheduler,
+    SimTask,
+    TaskSetState,
+    make_scheduler,
+)
+
+
+def roots(n, level=1):
+    return [SimTask(level=level, vertex=v, parent=None) for v in range(n)]
+
+
+def children_of(parent, n):
+    return [
+        SimTask(level=parent.level + 1, vertex=v, parent=parent)
+        for v in range(n)
+    ]
+
+
+class TestSimTask:
+    def test_embedding_accumulates(self):
+        r = SimTask(level=1, vertex=7, parent=None)
+        c = SimTask(level=2, vertex=9, parent=r)
+        g = SimTask(level=3, vertex=11, parent=c)
+        assert g.embedding == (7, 9, 11)
+
+    def test_ancestor_walk(self):
+        r = SimTask(level=1, vertex=0, parent=None)
+        c = SimTask(level=2, vertex=1, parent=r)
+        g = SimTask(level=3, vertex=2, parent=c)
+        assert g.ancestor(1) is r
+        assert g.ancestor(2) is c
+        assert g.ancestor(3) is g
+
+
+class TestTaskSetState:
+    def test_lifecycle(self):
+        parent = SimTask(level=1, vertex=0, parent=None)
+        kids = children_of(parent, 3)
+        ts = TaskSetState(parent, kids)
+        assert ts.ready and not ts.retired
+        popped = [ts.pop() for _ in range(3)]
+        assert not ts.ready and not ts.retired
+        for t in popped:
+            ts.complete_one()
+        assert ts.retired
+
+    def test_underflow_detected(self):
+        ts = TaskSetState(None, roots(1))
+        ts.pop()
+        ts.complete_one()
+        with pytest.raises(AssertionError):
+            ts.complete_one()
+
+
+class TestDFS:
+    def test_single_in_flight(self):
+        s = DFSScheduler()
+        s.push_roots(roots(3))
+        first = s.pop()
+        assert first is not None
+        assert s.pop() is None  # strictly one at a time
+        s.on_complete(first)
+        assert s.pop() is not None
+
+    def test_depth_first_order(self):
+        s = DFSScheduler()
+        r = roots(2)
+        s.push_roots(r)
+        t = s.pop()
+        assert t.vertex == 0
+        kids = children_of(t, 2)
+        s.on_complete(t)
+        s.push_children(t, kids)
+        nxt = s.pop()
+        assert nxt.level == 2  # children before the second root
+
+    def test_drained(self):
+        s = DFSScheduler()
+        assert s.drained
+        s.push_roots(roots(1))
+        assert not s.drained
+        t = s.pop()
+        s.on_complete(t)
+        assert s.drained
+
+
+class TestPseudoDFS:
+    def test_window_parallelism(self):
+        s = PseudoDFSScheduler(window=2)
+        s.push_roots(roots(4))
+        a, b = s.pop(), s.pop()
+        assert a is not None and b is not None
+        assert s.pop() is None  # window of 2 exhausted
+
+    def test_barrier_until_window_drains(self):
+        s = PseudoDFSScheduler(window=2)
+        s.push_roots(roots(4))
+        a, b = s.pop(), s.pop()
+        s.on_complete(a)
+        assert s.pop() is None  # b still running: barrier holds
+        s.on_complete(b)
+        assert s.pop() is not None
+
+    def test_window_same_level_only(self):
+        s = PseudoDFSScheduler(window=4)
+        s.push_roots(roots(1))
+        t = s.pop()
+        s.on_complete(t)
+        s.push_children(t, children_of(t, 2))
+        s.push_roots(roots(1))  # stack: [child1, child0, root]
+        first = s.pop()  # top of stack is the level-1 root
+        assert first.level == 1
+        assert s.pop() is None  # level-2 children cannot join its window
+        s.on_complete(first)
+        a, b = s.pop(), s.pop()
+        assert a.level == b.level == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(SchedulerError):
+            PseudoDFSScheduler(window=0)
+
+
+class TestBarrierFree:
+    def test_cross_level_dispatch_no_barrier(self):
+        s = BarrierFreeScheduler()
+        s.push_roots(roots(2))
+        a = s.pop()
+        b = s.pop()
+        assert a is not None and b is not None  # siblings concurrently
+        s.on_complete(a)
+        s.push_children(a, children_of(a, 2))
+        # a's child is ready even though b has not completed
+        c = s.pop()
+        assert c.level == 2
+
+    def test_depth_first_priority(self):
+        s = BarrierFreeScheduler()
+        s.push_roots(roots(3))
+        a = s.pop()
+        s.on_complete(a)
+        s.push_children(a, children_of(a, 1))
+        nxt = s.pop()
+        assert nxt.level == 2  # deeper task preferred over remaining roots
+
+    def test_task_set_capacity_blocks_spawn(self):
+        s = BarrierFreeScheduler(num_task_sets=1)
+        s.push_roots(roots(2))
+        a, b = s.pop(), s.pop()
+        s.on_complete(a)
+        s.push_children(a, children_of(a, 1))
+        s.on_complete(b)
+        s.push_children(b, children_of(b, 1))  # capacity full: queued
+        assert s.pending == 2  # both children counted as pending
+        ca = s.pop()
+        assert ca.task_set.parent is a
+        assert s.pop() is None  # b's children not admitted yet
+        s.on_complete(ca)  # a's set retires -> b's children admitted
+        cb = s.pop()
+        assert cb is not None and cb.task_set.parent is b
+
+    def test_width_limits_per_set_in_flight(self):
+        s = BarrierFreeScheduler(task_set_width=2)
+        s.push_roots(roots(1))
+        r = s.pop()
+        s.on_complete(r)
+        s.push_children(r, children_of(r, 5))
+        got = [s.pop(), s.pop()]
+        assert all(t is not None for t in got)
+        assert s.pop() is None  # width 2 reached for this set
+        s.on_complete(got[0])
+        assert s.pop() is not None
+
+    def test_peak_active_sets_tracked(self):
+        s = BarrierFreeScheduler()
+        s.push_roots(roots(2))
+        a, b = s.pop(), s.pop()
+        s.on_complete(a)
+        s.push_children(a, children_of(a, 1))
+        s.on_complete(b)
+        s.push_children(b, children_of(b, 1))
+        assert s.peak_active_sets == 2
+
+    def test_in_flight_underflow_guard(self):
+        s = BarrierFreeScheduler()
+        s.push_roots(roots(1))
+        t = s.pop()
+        s.on_complete(t)
+        with pytest.raises(SchedulerError):
+            s.on_complete(t)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SchedulerError):
+            BarrierFreeScheduler(num_task_sets=0)
+
+
+class TestShogun:
+    def test_sync_inserts_drain_and_stall(self):
+        s = ShogunScheduler(sync_period=2, sync_stall=10)
+        s.push_roots(roots(4))
+        a, b = s.pop(), s.pop()
+        s.on_complete(a)
+        s.on_complete(b)  # period reached, drained -> stall pending
+        assert s.pending_stall == 10
+        assert s.pop() is not None
+
+    def test_draining_blocks_pops(self):
+        s = ShogunScheduler(sync_period=1, sync_stall=5)
+        s.push_roots(roots(3))
+        a = s.pop()
+        b = s.pop()
+        s.on_complete(a)  # period hit but b in flight: draining
+        assert s.pop() is None
+        s.on_complete(b)
+        assert s.pop() is not None
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        for kind in ("dfs", "pseudo-dfs", "barrier-free", "shogun"):
+            assert make_scheduler(kind).name == kind
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("random")
+
+    def test_params_forwarded(self):
+        s = make_scheduler("barrier-free", num_task_sets=7)
+        assert s.num_task_sets == 7

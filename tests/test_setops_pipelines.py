@@ -1,0 +1,236 @@
+"""Exact hardware pipeline models: functional equivalence + cycle behaviour.
+
+These tests pin the element-level models to the paper: the Figure 4/9
+worked examples, the bitonic-segment property of the MIN stage, match-flag
+correctness in the CAS network, and the throughput/latency characteristics
+of Table 1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import bitmapcsr as bc
+from repro.setops import (
+    FLAG_L,
+    FLAG_R,
+    Element,
+    MergeQueuePipeline,
+    OrderAwarePipeline,
+    SystolicMergeArray,
+    bitonic_merge_segment,
+    min_stage,
+)
+from repro.setops.trace import INF_KEY
+
+sorted_sets = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=50, unique=True
+).map(lambda xs: np.asarray(sorted(xs), dtype=np.int64))
+
+
+def _elems(values, flag):
+    return [Element(key=int(v), flag=flag) for v in values]
+
+
+class TestMinStage:
+    def test_paper_figure9_cycle0(self):
+        # A = (0,1,3,4), B reversed window = (6,3,2,0) -> mins (0,1,2,0)
+        a = _elems([0, 1, 3, 4], FLAG_L)
+        b = _elems([0, 2, 3, 6], FLAG_R)
+        seg, taken_a, cmps = min_stage(a, b)
+        assert [e.key for e in seg] == [0, 1, 2, 0]
+        assert taken_a == 2
+        assert cmps == 4
+
+    def test_output_is_bitonic(self, rng):
+        for _ in range(100):
+            a = np.unique(rng.integers(0, 50, 8))[:4]
+            b = np.unique(rng.integers(0, 50, 8))[:4]
+            a = np.pad(a, (0, 4 - a.size), constant_values=INF_KEY)
+            b = np.pad(b, (0, 4 - b.size), constant_values=INF_KEY)
+            seg, _, _ = min_stage(_elems(a, FLAG_L), _elems(b, FLAG_R))
+            keys = [e.key for e in seg]
+            # bitonic: rises then falls (allowing flat INF tails)
+            drops = sum(
+                1 for i in range(len(keys) - 1) if keys[i] > keys[i + 1]
+            )
+            rises_after_drop = any(
+                keys[i] > keys[i + 1] and keys[j] < keys[j + 1]
+                for i in range(len(keys) - 1)
+                for j in range(i + 1, len(keys) - 1)
+            )
+            assert not rises_after_drop, keys
+            del drops
+
+    def test_selects_global_minimum_n(self, rng):
+        for _ in range(50):
+            a = np.sort(rng.choice(100, size=4, replace=False))
+            b = np.sort(rng.choice(100, size=4, replace=False))
+            seg, _, _ = min_stage(_elems(a, FLAG_L), _elems(b, FLAG_R))
+            got = sorted(e.key for e in seg)
+            want = sorted(np.concatenate([a, b]).tolist())[:4]
+            assert got == want
+
+    def test_unequal_windows_rejected(self):
+        with pytest.raises(ConfigError):
+            min_stage(_elems([1], FLAG_L), _elems([1, 2], FLAG_R))
+
+
+class TestBitonicMerge:
+    def test_sorts_bitonic_sequence(self):
+        seg = _elems([0, 1, 2], FLAG_L) + _elems([0], FLAG_R)
+        seg = [seg[0], seg[1], seg[2], seg[3]]
+        out, cmps = bitonic_merge_segment(seg)
+        assert [e.key for e in out] == [0, 0, 1, 2]
+        assert cmps == 4  # N/2 * log2(N) with N=4
+
+    def test_match_flags_set_on_equal_keys(self):
+        seg = [
+            Element(5, flag=FLAG_L),
+            Element(7, flag=FLAG_L),
+            Element(7, flag=FLAG_R),
+            Element(5, flag=FLAG_R),
+        ]
+        out, _ = bitonic_merge_segment(seg)
+        matched = [e for e in out if e.match]
+        assert {e.key for e in matched} == {5, 7}
+
+    def test_match_flag_soundness_random(self, rng):
+        """A flagged element always has an equal-key neighbour after sort."""
+        for _ in range(200):
+            asc = np.sort(rng.choice(30, size=4, replace=False))
+            desc = np.sort(rng.choice(30, size=4, replace=False))[::-1]
+            seg = _elems(asc, FLAG_L) + _elems(desc, FLAG_R)
+            out, _ = bitonic_merge_segment(seg)
+            keys = [e.key for e in out]
+            assert keys == sorted(keys)
+            for i, e in enumerate(out):
+                if e.match:
+                    neighbours = keys[max(i - 1, 0) : i + 2]
+                    assert neighbours.count(e.key) >= 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            bitonic_merge_segment(_elems([1, 2, 3], FLAG_L))
+
+    def test_tie_break_l_before_r(self):
+        seg = [Element(3, flag=FLAG_R), Element(3, flag=FLAG_L)]
+        out, _ = bitonic_merge_segment(seg)
+        assert out[0].flag == FLAG_L
+
+
+class TestPaperExamples:
+    def test_figure4_intersection_and_difference(self):
+        a = np.array([0, 2, 3, 4])
+        b = np.array([1, 2, 4, 5])
+        pipe = OrderAwarePipeline(segment_width=8)
+        assert pipe.run(a, b, "intersect").result.tolist() == [2, 4]
+        assert pipe.run(a, b, "difference").result.tolist() == [0, 3]
+
+    def test_figure9_streaming(self):
+        a = np.array([0, 1, 3, 4, 5, 6, 7])
+        b = np.array([0, 2, 3, 6, 7])
+        trace = OrderAwarePipeline(segment_width=4).run(a, b, "intersect")
+        assert trace.result.tolist() == [0, 3, 6, 7]
+        # 12 elements at N=4 -> 3 issue cycles, as the figure shows
+        assert trace.issue_cycles == 3
+
+
+@pytest.mark.parametrize(
+    "make_pipe",
+    [
+        lambda: OrderAwarePipeline(4),
+        lambda: OrderAwarePipeline(8),
+        lambda: MergeQueuePipeline(),
+        lambda: SystolicMergeArray(4),
+        lambda: SystolicMergeArray(8),
+    ],
+    ids=["oa4", "oa8", "mq", "sma4", "sma8"],
+)
+class TestFunctionalEquivalence:
+    @given(a=sorted_sets, b=sorted_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection(self, make_pipe, a, b):
+        got = make_pipe().run(a, b, "intersect").result
+        assert np.array_equal(got, np.intersect1d(a, b))
+
+    @given(a=sorted_sets, b=sorted_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_difference(self, make_pipe, a, b):
+        got = make_pipe().run(a, b, "difference").result
+        assert np.array_equal(got, np.setdiff1d(a, b))
+
+    def test_empty_inputs(self, make_pipe):
+        e = np.array([], dtype=np.int64)
+        x = np.array([1, 5, 9])
+        assert make_pipe().run(e, x, "intersect").result.size == 0
+        assert make_pipe().run(x, e, "difference").result.tolist() == [1, 5, 9]
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+class TestBitmapPipelines:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_bitmap_intersection_all_archs(self, width, data):
+        a = data.draw(sorted_sets)
+        b = data.draw(sorted_sets)
+        aw, bw = bc.encode(a, width), bc.encode(b, width)
+        for pipe in (
+            OrderAwarePipeline(4, width),
+            MergeQueuePipeline(width),
+            SystolicMergeArray(4, width),
+        ):
+            ti = pipe.run(aw, bw, "intersect")
+            assert np.array_equal(
+                bc.decode(ti.result, width), np.intersect1d(a, b)
+            )
+            assert ti.result_count == np.intersect1d(a, b).size
+            td = pipe.run(aw, bw, "difference")
+            assert np.array_equal(
+                bc.decode(td.result, width), np.setdiff1d(a, b)
+            )
+
+
+class TestCycleCharacteristics:
+    def test_order_aware_throughput_n_per_cycle(self):
+        a = np.arange(0, 400, 2)
+        b = np.arange(1, 401, 2)
+        for n in (4, 8, 16):
+            trace = OrderAwarePipeline(n).run(a, b, "intersect")
+            assert trace.issue_cycles == -(-(a.size + b.size) // n)
+
+    def test_merge_queue_one_per_cycle(self):
+        a = np.arange(0, 100, 2)
+        b = np.arange(1, 101, 2)
+        trace = MergeQueuePipeline().run(a, b, "intersect")
+        assert trace.issue_cycles >= a.size + b.size - 2
+
+    def test_order_aware_latency_logarithmic(self):
+        assert OrderAwarePipeline(8).pipeline_depth == 2 + 2 * 3
+        assert OrderAwarePipeline(16).pipeline_depth == 2 + 2 * 4
+
+    def test_systolic_latency_linear(self):
+        assert SystolicMergeArray(8).pipeline_depth == 16
+        assert SystolicMergeArray(16).pipeline_depth == 32
+
+    def test_comparator_scaling(self):
+        oa = OrderAwarePipeline(16).comparator_count
+        sma = SystolicMergeArray(16).comparator_count
+        assert oa == 16 + 8 * 4 + 1
+        assert sma == 256
+
+    def test_order_aware_faster_than_merge_on_long_sets(self):
+        a = np.arange(0, 2000, 2)
+        b = np.arange(1, 2001, 2)
+        oa = OrderAwarePipeline(8).run(a, b, "intersect").cycles
+        mq = MergeQueuePipeline().run(a, b, "intersect").cycles
+        assert oa * 4 < mq
+
+    def test_merge_lower_latency_on_tiny_sets(self):
+        a = np.array([1])
+        b = np.array([2])
+        oa = OrderAwarePipeline(16).run(a, b, "intersect").cycles
+        mq = MergeQueuePipeline().run(a, b, "intersect").cycles
+        assert mq < oa

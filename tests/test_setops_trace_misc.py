@@ -1,0 +1,102 @@
+"""Element/trace records and pipeline bookkeeping details."""
+
+import numpy as np
+import pytest
+
+from repro.setops import (
+    FLAG_L,
+    FLAG_R,
+    Element,
+    MergeQueuePipeline,
+    OrderAwarePipeline,
+    SystolicMergeArray,
+)
+from repro.setops.trace import INF_KEY, SetOpTrace
+
+
+class TestElement:
+    def test_validity(self):
+        assert Element(key=5).valid
+        assert not Element(key=INF_KEY).valid
+
+    def test_order_key_ties_l_first(self):
+        left = Element(key=3, flag=FLAG_L)
+        right = Element(key=3, flag=FLAG_R)
+        assert left.order_key() < right.order_key()
+
+    def test_default_bitmap_is_presence(self):
+        assert Element(key=1).bitmap == 1
+
+
+class TestTraceBookkeeping:
+    def test_words_consumed(self):
+        a = np.array([1, 2, 3])
+        b = np.array([2, 4])
+        t = OrderAwarePipeline(4).run(a, b, "intersect")
+        assert t.words_consumed == 5
+
+    def test_words_produced(self):
+        a = np.array([1, 2, 3])
+        b = np.array([2, 3, 9])
+        t = OrderAwarePipeline(4).run(a, b, "intersect")
+        assert t.words_produced == 2
+        assert t.result_count == 2
+
+    def test_cycles_is_issue_plus_depth(self):
+        a = np.arange(32)
+        b = np.arange(16, 48)
+        for pipe in (OrderAwarePipeline(8), MergeQueuePipeline(),
+                     SystolicMergeArray(8)):
+            t = pipe.run(a, b, "intersect")
+            assert t.cycles == t.issue_cycles + t.pipeline_depth
+
+    def test_comparisons_nonzero_when_work(self):
+        a = np.arange(20)
+        b = np.arange(10, 30)
+        for pipe in (OrderAwarePipeline(4), MergeQueuePipeline(),
+                     SystolicMergeArray(4)):
+            assert pipe.run(a, b, "intersect").comparisons > 0
+
+    def test_default_trace_empty(self):
+        t = SetOpTrace()
+        assert t.cycles == 0
+        assert t.result.size == 0
+
+
+class TestBoundaryEdgeCases:
+    """Regression cases for the early-termination boundary register."""
+
+    def test_pending_matches_unconsumed_head_difference(self):
+        # A's last element equals a deep B element that is never consumed
+        a = np.array([8])
+        b = np.array([1, 2, 3, 8])
+        t = OrderAwarePipeline(4).run(a, b, "difference")
+        assert t.result.size == 0  # 8 ∈ B, must not appear in A−B
+
+    def test_pending_matches_unconsumed_head_intersect(self):
+        a = np.array([8])
+        b = np.array([1, 2, 3, 8])
+        t = OrderAwarePipeline(4).run(a, b, "intersect")
+        assert t.result.tolist() == [8]
+
+    def test_identical_singletons(self):
+        a = np.array([7])
+        for op, want in (("intersect", [7]), ("difference", [])):
+            t = OrderAwarePipeline(8).run(a, a.copy(), op)
+            assert t.result.tolist() == want
+
+    def test_interleaved_no_overlap(self):
+        a = np.arange(0, 40, 2)
+        b = np.arange(1, 41, 2)
+        t = OrderAwarePipeline(8).run(a, b, "intersect")
+        assert t.result.size == 0
+        t2 = OrderAwarePipeline(8).run(a, b, "difference")
+        assert np.array_equal(t2.result, a)
+
+    def test_a_strictly_before_b(self):
+        a = np.arange(10)
+        b = np.arange(100, 110)
+        # intersection terminates quickly: only A's range is consumed
+        t = OrderAwarePipeline(8).run(a, b, "intersect")
+        assert t.result.size == 0
+        assert t.issue_cycles <= 3

@@ -1,0 +1,183 @@
+"""Simulator integration tests: functional exactness + architectural sanity."""
+
+import pytest
+
+from repro.core import (
+    XSetAccelerator,
+    fingers_config,
+    flexminer_config,
+    shogun_config,
+    xset_default,
+)
+from repro.graph import erdos_renyi
+from repro.patterns import PATTERNS, build_plan, count_embeddings
+from repro.sim import AcceleratorSim, run_on_soc
+
+ALL_CONFIGS = {
+    "xset": xset_default(),
+    "flexminer": flexminer_config(),
+    "fingers": fingers_config(),
+    "shogun": shogun_config(),
+    "xset-dfs": xset_default(scheduler="dfs", name="xset-dfs"),
+    "xset-pdfs": xset_default(
+        scheduler="pseudo-dfs", scheduler_params={"window": 4},
+        name="xset-pdfs",
+    ),
+    "xset-sma": xset_default(siu_kind="sma", name="xset-sma"),
+    "xset-merge": xset_default(
+        siu_kind="merge", segment_width=1, name="xset-merge"
+    ),
+    "xset-nobitmap": xset_default(bitmap_width=0, name="xset-nobitmap"),
+}
+
+
+class TestFunctionalExactness:
+    """The load-bearing invariant: timing models never change counts."""
+
+    @pytest.mark.parametrize("cfg_name", sorted(ALL_CONFIGS))
+    @pytest.mark.parametrize("pattern", ["3CF", "4CF", "TT", "CYC", "DIA"])
+    def test_counts_match_reference(self, cfg_name, pattern, medium_er):
+        plan = build_plan(PATTERNS[pattern])
+        want = count_embeddings(medium_er, plan).embeddings
+        report = run_on_soc(medium_er, plan, ALL_CONFIGS[cfg_name])
+        assert report.embeddings == want
+
+    def test_counts_on_skewed_graph(self, skewed_graph):
+        for pattern in ("3CF", "DIA"):
+            plan = build_plan(PATTERNS[pattern])
+            want = count_embeddings(skewed_graph, plan).embeddings
+            report = run_on_soc(skewed_graph, plan, xset_default())
+            assert report.embeddings == want
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.empty(10, name="empty")
+        report = run_on_soc(g, build_plan(PATTERNS["3CF"]), xset_default())
+        assert report.embeddings == 0
+        assert report.cycles >= 0
+
+
+class TestDeterminism:
+    def test_same_run_same_cycles(self, medium_er):
+        plan = build_plan(PATTERNS["3CF"])
+        a = run_on_soc(medium_er, plan, xset_default())
+        b = run_on_soc(medium_er, plan, xset_default())
+        assert a.cycles == b.cycles
+        assert a.comparisons == b.comparisons
+
+
+class TestArchitecturalSanity:
+    def test_utilization_in_range(self, medium_er):
+        report = run_on_soc(
+            medium_er, build_plan(PATTERNS["3CF"]), xset_default()
+        )
+        assert 0.0 < report.siu_utilization <= 1.0
+
+    def test_single_lane_dfs_uses_one_siu(self, medium_er):
+        """A one-lane DFS walk cannot exceed 1/num_sius utilisation."""
+        cfg = xset_default(
+            scheduler="dfs", scheduler_params={"lanes": 1}, name="dfs1"
+        )
+        report = run_on_soc(medium_er, build_plan(PATTERNS["3CF"]), cfg)
+        assert report.siu_utilization <= 1.0 / cfg.sius_per_pe + 0.01
+
+    def test_dfs_lanes_add_subtree_parallelism(self, skewed_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        one = run_on_soc(
+            skewed_graph, plan,
+            xset_default(scheduler="dfs", scheduler_params={"lanes": 1},
+                         name="dfs1"),
+        )
+        four = run_on_soc(
+            skewed_graph, plan,
+            xset_default(scheduler="dfs", scheduler_params={"lanes": 4},
+                         name="dfs4"),
+        )
+        assert four.cycles < one.cycles
+        assert four.embeddings == one.embeddings
+
+    def test_barrier_free_not_slower_than_dfs(self, skewed_graph):
+        plan = build_plan(PATTERNS["4CF"])
+        bf = run_on_soc(skewed_graph, plan, xset_default())
+        dfs = run_on_soc(
+            skewed_graph, plan, xset_default(scheduler="dfs", name="dfs")
+        )
+        assert bf.cycles < dfs.cycles
+
+    def test_scheduler_ordering_on_irregular_graph(self, skewed_graph):
+        """barrier-free <= pseudo-dfs <= dfs in cycles (paper Fig. 16)."""
+        plan = build_plan(PATTERNS["TT"])
+        cycles = {}
+        for sched, params in (
+            ("barrier-free", {}),
+            ("pseudo-dfs", {"window": 4}),
+            ("dfs", {}),
+        ):
+            cfg = xset_default(
+                scheduler=sched, scheduler_params=params, name=sched
+            )
+            cycles[sched] = run_on_soc(skewed_graph, plan, cfg).cycles
+        assert cycles["barrier-free"] <= cycles["pseudo-dfs"]
+        assert cycles["pseudo-dfs"] <= cycles["dfs"]
+
+    def test_more_pes_is_faster(self, skewed_graph):
+        plan = build_plan(PATTERNS["3CF"])
+        one = run_on_soc(skewed_graph, plan, xset_default(num_pes=1))
+        sixteen = run_on_soc(skewed_graph, plan, xset_default(num_pes=16))
+        assert sixteen.cycles < one.cycles
+
+    def test_memory_stats_populated(self, medium_er):
+        report = run_on_soc(
+            medium_er, build_plan(PATTERNS["3CF"]), xset_default()
+        )
+        assert report.private_hits + report.private_misses > 0
+        assert report.dram_bytes > 0
+
+    def test_task_counts_match_reference(self, medium_er):
+        plan = build_plan(PATTERNS["4CF"])
+        stats = count_embeddings(medium_er, plan)
+        report = run_on_soc(medium_er, plan, xset_default())
+        assert report.tasks == stats.tasks
+
+    def test_wall_time_recorded(self, medium_er):
+        report = run_on_soc(
+            medium_er, build_plan(PATTERNS["3CF"]), xset_default()
+        )
+        assert report.wall_seconds > 0
+
+    def test_summary_string(self, medium_er):
+        report = run_on_soc(
+            medium_er, build_plan(PATTERNS["3CF"]), xset_default()
+        )
+        text = report.summary()
+        assert "3CF" in text and "embeddings" in text
+
+
+class TestStartTasks:
+    def test_explicit_root_subset(self, medium_er):
+        from repro.sched.task import SimTask
+
+        plan = build_plan(PATTERNS["3CF"])
+        sim = AcceleratorSim(medium_er, plan, xset_default())
+        tasks = [
+            SimTask(level=1, vertex=v, parent=None)
+            for v in range(medium_er.num_vertices // 2)
+        ]
+        partial = sim.run(tasks)
+        full = run_on_soc(medium_er, plan, xset_default())
+        assert partial.embeddings <= full.embeddings
+
+
+class TestEnumerateModePlans:
+    def test_enumerate_plan_counts_match(self, medium_er):
+        """Enumerate-mode plans exercise the reuse_from leaf path in HW."""
+        plan = build_plan(PATTERNS["DIA"], collection="enumerate")
+        want = count_embeddings(medium_er, plan).embeddings
+        report = run_on_soc(medium_er, plan, xset_default())
+        assert report.embeddings == want
+        # enumerate spawns the collapsed levels: strictly more tasks
+        collapsed = run_on_soc(
+            medium_er, build_plan(PATTERNS["DIA"]), xset_default()
+        )
+        assert report.tasks > collapsed.tasks

@@ -1,0 +1,53 @@
+"""Fast-vs-exact simulator cross-validation (paper §7.1.1 methodology)."""
+
+import pytest
+
+from repro.core import xset_default
+from repro.graph import erdos_renyi
+from repro.patterns import PATTERNS, build_plan
+from repro.sim.validation import ExactTaskExecutor, cross_validate
+
+
+def _config(kind: str):
+    return xset_default(
+        siu_kind=kind,
+        segment_width=8 if kind != "merge" else 1,
+        bitmap_width=8 if kind != "merge" else 0,
+        name=f"cv-{kind}",
+    )
+
+
+@pytest.mark.parametrize("kind", ["order-aware", "sma", "merge"])
+@pytest.mark.parametrize("pattern", ["3CF", "CYC"])
+def test_analytic_matches_exact_pipelines(kind, pattern):
+    """Total analytic issue cycles equal the element-level replay's."""
+    g = erdos_renyi(40, 6.0, seed=7)
+    cv = cross_validate(g, build_plan(PATTERNS[pattern]), _config(kind))
+    assert cv.embeddings_match
+    assert cv.relative_issue_error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_exact_executor_is_a_drop_in(medium_er):
+    """The exact executor plugs into the simulator and changes no counts."""
+    from repro.memory import MemoryHierarchy
+    from repro.patterns import count_embeddings
+    from repro.sim import AcceleratorSim
+    from repro.siu import make_siu
+
+    cfg = _config("order-aware")
+    plan = build_plan(PATTERNS["3CF"])
+    sim = AcceleratorSim(medium_er, plan, cfg)
+    sim.executor = ExactTaskExecutor(
+        medium_er, plan, make_siu("order-aware", 8, 8),
+        MemoryHierarchy(cfg.memory_config()), cfg,
+    )
+    report = sim.run()
+    assert report.embeddings == count_embeddings(medium_er, plan).embeddings
+    assert sim.executor.exact_issue_cycles > 0
+
+
+def test_plain_csr_also_exact():
+    g = erdos_renyi(30, 6.0, seed=9)
+    cfg = xset_default(bitmap_width=0, name="cv-b0")
+    cv = cross_validate(g, build_plan(PATTERNS["3CF"]), cfg)
+    assert cv.relative_issue_error == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,153 @@
+"""SIU cost models: cross-validation against the exact pipelines + Table 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.setops import MergeQueuePipeline, OrderAwarePipeline, SystolicMergeArray
+from repro.siu import (
+    MergeQueueSIU,
+    OrderAwareSIU,
+    SystolicSIU,
+    block_keys,
+    make_siu,
+    merge_boundaries,
+)
+
+sorted_sets = st.lists(
+    st.integers(min_value=0, max_value=300), max_size=80, unique=True
+).map(lambda xs: np.asarray(sorted(xs), dtype=np.int64))
+
+
+class TestBlockKeys:
+    def test_width_zero_identity(self):
+        v = np.array([3, 7, 9])
+        assert np.array_equal(block_keys(v, 0), v)
+
+    def test_width_eight(self):
+        v = np.array([0, 1, 7, 8, 17])
+        assert block_keys(v, 8).tolist() == [0, 1, 2]
+
+    def test_empty(self):
+        assert block_keys(np.array([], dtype=np.int64), 8).size == 0
+
+
+class TestMergeBoundaries:
+    def test_full_overlap(self):
+        a = np.array([1, 2, 3])
+        i, j, m = merge_boundaries(a, a)
+        assert (i, j, m) == (3, 3, 3)
+
+    def test_disjoint_ranges(self):
+        a = np.array([1, 2, 3])
+        b = np.array([10, 11])
+        i, j, m = merge_boundaries(a, b)
+        assert (i, j, m) == (3, 0, 0)
+
+    def test_empty(self):
+        assert merge_boundaries(np.array([]), np.array([1])) == (0, 0, 0)
+
+
+class TestAgainstExactPipelines:
+    """The analytic cost models must match the element-level models."""
+
+    @given(a=sorted_sets, b=sorted_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_order_aware_issue_cycles_exact(self, a, b):
+        for n in (4, 8):
+            model = OrderAwareSIU(segment_width=n)
+            exact = OrderAwarePipeline(segment_width=n)
+            for op, exop in (("set_int", "intersect"),
+                             ("set_diff", "difference")):
+                cost = model.op_cost(a, b, op)
+                trace = exact.run(a, b, exop)
+                assert cost.issue_cycles == trace.issue_cycles
+                assert cost.pipeline_depth == trace.pipeline_depth
+
+    @given(a=sorted_sets, b=sorted_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_queue_issue_cycles_exact(self, a, b):
+        model = MergeQueueSIU()
+        exact = MergeQueuePipeline()
+        for op, exop in (("set_int", "intersect"), ("set_diff", "difference")):
+            cost = model.op_cost(a, b, op)
+            trace = exact.run(a, b, exop)
+            assert cost.issue_cycles == trace.issue_cycles, (
+                op, a.tolist(), b.tolist()
+            )
+
+    @given(a=sorted_sets, b=sorted_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_systolic_issue_cycles_exact(self, a, b):
+        """SMA analytic segment-entry count equals the replay model."""
+        for n in (4, 8):
+            model = SystolicSIU(segment_width=n)
+            exact = SystolicMergeArray(segment_width=n)
+            for op, exop in (("set_int", "intersect"),
+                             ("set_diff", "difference")):
+                cost = model.op_cost(a, b, op)
+                trace = exact.run(a, b, exop)
+                assert cost.issue_cycles == trace.issue_cycles, (
+                    op, n, a.tolist(), b.tolist()
+                )
+
+
+class TestTableOneInvariants:
+    def test_throughputs(self):
+        assert MergeQueueSIU().throughput == 1
+        assert OrderAwareSIU(8).throughput == 8
+        assert SystolicSIU(8).throughput == 8
+
+    def test_comparator_complexity_classes(self):
+        """O(1) vs O(N log N) vs O(N^2): check growth ratios."""
+        for n in (4, 8, 16, 32):
+            oa = OrderAwareSIU(n).comparator_count
+            sma = SystolicSIU(n).comparator_count
+            assert sma == n * n
+            assert oa <= 2 * n * (1 + np.log2(n))
+            assert oa < sma or n <= 2
+
+    def test_latency_classes(self):
+        import math
+
+        for n in (4, 8, 16, 32):
+            assert OrderAwareSIU(n).pipeline_depth == 2 + 2 * math.log2(n)
+            assert SystolicSIU(n).pipeline_depth == 2 * n
+        assert MergeQueueSIU().pipeline_depth == 2
+
+    def test_comparisons_counted(self):
+        a = np.arange(0, 64, 2)
+        b = np.arange(1, 65, 2)
+        oa = OrderAwareSIU(8).op_cost(a, b, "set_int")
+        sma = SystolicSIU(8).op_cost(a, b, "set_int")
+        mq = MergeQueueSIU().op_cost(a, b, "set_int")
+        # SMA performs redundant all-to-all comparisons
+        assert sma.comparisons > oa.comparisons > mq.comparisons
+
+
+class TestFactory:
+    def test_make_all_kinds(self):
+        assert make_siu("order-aware", 8).name == "order-aware"
+        assert make_siu("merge").name == "merge"
+        assert make_siu("sma", 4).name == "sma"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_siu("quantum")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            OrderAwareSIU(segment_width=6)
+        with pytest.raises(ConfigError):
+            SystolicSIU(segment_width=3)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ConfigError):
+            OrderAwareSIU(8).op_cost(np.array([1]), np.array([1]), "union")
+
+    def test_describe(self):
+        text = OrderAwareSIU(8, bitmap_width=8).describe()
+        assert "order-aware" in text
+        assert "N=8" in text
