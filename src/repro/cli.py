@@ -49,6 +49,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         overrides["num_pes"] = args.pes
     if args.sius:
         overrides["sius_per_pe"] = args.sius
+    if args.engine:
+        overrides["engine"] = args.engine
     config = _config_for(args.system, overrides)
     graph = load_dataset(args.dataset, scale=args.scale)
     accel = XSetAccelerator(config)
@@ -133,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--system", choices=_SYSTEMS, default="xset")
     count.add_argument("--pes", type=int, default=0)
     count.add_argument("--sius", type=int, default=0)
+    count.add_argument(
+        "--engine",
+        choices=("event", "batched"),
+        default="",
+        help="execution backend: event-driven simulation (default) or "
+        "vectorised batched frontier expansion",
+    )
     count.set_defaults(func=_cmd_count)
 
     compare = sub.add_parser(

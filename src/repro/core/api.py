@@ -16,7 +16,7 @@ host-side concern — the accelerator streams results back).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..graph.csr import CSRGraph
 from ..patterns.executor import enumerate_embeddings as _enum
@@ -24,17 +24,29 @@ from ..patterns.pattern import MOTIF3, Pattern
 from ..patterns.plan import MatchingPlan, build_plan
 from .config import SystemConfig, xset_default
 
-if False:  # pragma: no cover - typing-only import, avoids core<->sim cycle
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids core<->sim cycle
     from ..sim.report import SimReport
 
 __all__ = ["XSetAccelerator", "count_motifs3"]
 
 
 class XSetAccelerator:
-    """One configured X-SET SoC instance."""
+    """One configured X-SET SoC instance.
 
-    def __init__(self, config: SystemConfig | None = None) -> None:
+    ``engine`` picks the execution backend for ``count``-style runs:
+    ``"event"`` (default — cycle-approximate event-driven simulation) or
+    ``"batched"`` (vectorised frontier expansion, analytic timing; much
+    faster when only counts matter).  See :mod:`repro.engine`.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        engine: str | None = None,
+    ) -> None:
         self.config = config or xset_default()
+        if engine is not None and engine != self.config.engine:
+            self.config = self.config.with_overrides(engine=engine)
 
     def plan_for(
         self, pattern: Pattern, induced: bool | None = None
@@ -48,17 +60,22 @@ class XSetAccelerator:
         pattern: Pattern,
         induced: bool | None = None,
         plan: MatchingPlan | None = None,
+        engine: str | None = None,
     ) -> "SimReport":
         """Count embeddings of ``pattern`` in ``graph`` on this accelerator.
 
         Returns the simulation report: exact count plus cycles, utilisation
-        and memory statistics.
+        and memory statistics.  ``engine`` overrides the configured
+        execution backend for this run only.
         """
         from ..sim.host import run_on_soc
 
         if plan is None:
             plan = self.plan_for(pattern, induced=induced)
-        return run_on_soc(graph, plan, self.config)
+        config = self.config
+        if engine is not None and engine != config.engine:
+            config = config.with_overrides(engine=engine)
+        return run_on_soc(graph, plan, config)
 
     def enumerate(
         self, graph: CSRGraph, pattern: Pattern, induced: bool | None = None

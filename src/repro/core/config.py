@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..engine.base import available_engines
 from ..errors import ConfigError
 from ..memory.dram import DRAMConfig
 from ..memory.hierarchy import MemoryConfig
@@ -54,6 +55,10 @@ class SystemConfig:
     #: streaming order) or "degree-balanced" (greedy bin packing by degree,
     #: a load-balancing extension for skewed graphs)
     root_partition: str = "round-robin"
+    #: execution engine: "event" (cycle-approximate event-driven simulation)
+    #: or "batched" (vectorised frontier expansion with analytic timing) —
+    #: see repro.engine for the registry
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.num_pes < 1 or self.sius_per_pe < 1:
@@ -63,6 +68,11 @@ class SystemConfig:
         if self.root_partition not in ("round-robin", "degree-balanced"):
             raise ConfigError(
                 f"unknown root partition {self.root_partition!r}"
+            )
+        if self.engine not in available_engines():
+            raise ConfigError(
+                f"unknown execution engine {self.engine!r}; "
+                f"available: {', '.join(available_engines())}"
             )
 
     def memory_config(self) -> MemoryConfig:

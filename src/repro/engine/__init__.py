@@ -1,0 +1,24 @@
+"""Pluggable execution engines: functional expansion × temporal modelling.
+
+The engine layer splits plan execution into two orthogonal concerns —
+
+* :mod:`repro.engine.functional`: exact candidate-set expansion (what the
+  hardware computes), shared by every backend;
+* :mod:`repro.engine.temporal`: cycle-cost annotation (how long it takes),
+  exact per-task for the event simulator, aggregate-analytic for batched
+  execution —
+
+and registers concrete backends behind one :class:`Engine` interface.
+Select a backend with ``SystemConfig(engine="batched")``,
+``XSetAccelerator(engine="batched")`` or ``python -m repro count
+--engine batched``.
+"""
+
+from .base import Engine, available_engines, get_engine, register_engine
+
+__all__ = [
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

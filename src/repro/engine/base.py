@@ -1,0 +1,116 @@
+"""The ``Engine`` interface and backend registry.
+
+An execution engine turns ``(graph, plan, config)`` into a
+:class:`~repro.sim.report.SimReport`.  Every engine computes the *same exact
+embedding counts* (the functional layer is shared — see
+:mod:`repro.engine.functional`); engines differ only in how they organise
+the work and how they model time:
+
+``event``
+    The cycle-approximate event-driven simulator (heap of task-completion
+    events, per-task memory streams, scheduler contention).  The reference
+    for architectural studies.
+``batched``
+    Level-synchronous frontier expansion with vectorised NumPy kernels and
+    aggregate analytic cycle charging.  Orders of magnitude faster in wall
+    clock; use it when only counts (or a coarse cycle estimate for a
+    design-space sweep) are needed.
+
+Backends self-register through :func:`register_engine`; the two built-ins
+are registered lazily by dotted path so importing this module stays cheap
+and free of circular imports.  A future backend (multiprocess sharding, GPU
+kernels, ...) is one ``@register_engine`` away.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from importlib import import_module
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import SystemConfig
+    from ..graph.csr import CSRGraph
+    from ..patterns.plan import MatchingPlan
+    from ..sim.report import SimReport
+
+__all__ = [
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]
+
+
+class Engine(ABC):
+    """One way of executing a matching plan against a data graph."""
+
+    #: registry key and the value of ``SystemConfig.engine`` that selects it
+    name: str = "engine"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: "CSRGraph",
+        plan: "MatchingPlan",
+        config: "SystemConfig",
+    ) -> "SimReport":
+        """Execute the workload and return the metrics report.
+
+        ``report.embeddings`` must equal the software reference count for
+        any engine; timing fields are engine-specific models.
+        """
+
+
+#: instantiated / registered engine classes by name
+_REGISTRY: dict[str, type[Engine]] = {}
+
+#: engine instances by name — engines are stateless, one instance suffices
+_INSTANCES: dict[str, Engine] = {}
+
+#: built-in backends resolved on first use ("module:attribute")
+_LAZY: dict[str, str] = {
+    "event": "repro.engine.event:EventEngine",
+    "batched": "repro.engine.batched:BatchedEngine",
+}
+
+
+def register_engine(cls: type[Engine]) -> type[Engine]:
+    """Class decorator adding an :class:`Engine` subclass to the registry."""
+    name = getattr(cls, "name", None)
+    if not name or name == Engine.name:
+        raise ConfigError(
+            f"engine class {cls.__name__} must define a unique 'name'"
+        )
+    _REGISTRY[name] = cls
+    _INSTANCES.pop(name, None)
+    _LAZY.pop(name, None)
+    return cls
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names accepted by ``SystemConfig.engine`` / ``--engine``."""
+    return tuple(sorted(set(_REGISTRY) | set(_LAZY)))
+
+
+def get_engine(name: str) -> Engine:
+    """The engine registered under ``name`` (one cached instance per name)."""
+    engine = _INSTANCES.get(name)
+    if engine is not None:
+        return engine
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        target = _LAZY.get(name)
+        if target is None:
+            raise ConfigError(
+                f"unknown execution engine {name!r}; "
+                f"available: {', '.join(available_engines())}"
+            )
+        module, _, attr = target.partition(":")
+        cls = getattr(import_module(module), attr)
+        _REGISTRY[name] = cls
+    engine = cls()
+    _INSTANCES[name] = engine
+    return engine

@@ -1,0 +1,323 @@
+"""Functional layer: exact candidate-set expansion, no timing.
+
+This module is the single source of truth for *what* a task computes —
+which stored/neighbour set seeds the candidate set, which neighbour rows are
+intersected or subtracted on top, and which bound/distinctness/label filters
+prune the survivors.  Both execution engines consume it:
+
+* the ``event`` backend expands one task at a time
+  (:func:`expand_task`) and hands the per-operation records to the temporal
+  layer for exact cycle annotation;
+* the ``batched`` backend expands a whole frontier level at once with the
+  bulk kernels in :mod:`repro.setops.bulk`, charging analytic cycles in
+  aggregate.
+
+Nothing here touches the memory hierarchy, the SIU models or the clock, so
+these kernels are trivially reusable by future backends (multiprocess
+sharding, GPU, ...) that only need the functional result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..patterns.executor import apply_filters
+from ..patterns.plan import LevelSpec, MatchingPlan
+from ..setops.bulk import (
+    bulk_adjacency,
+    bulk_adjacency_bits,
+    edge_keys,
+    gather_rows,
+    packed_adjacency,
+)
+from ..setops.reference import difference_sorted, intersect_sorted
+
+__all__ = [
+    "SetOpRecord",
+    "TaskExpansion",
+    "expand_task",
+    "leaf_count",
+    "row_word_counts",
+    "set_stream_words",
+    "FrontierLevel",
+    "expand_frontier",
+]
+
+
+# -- word-stream geometry (BitmapCSR) ---------------------------------------
+
+
+def row_word_counts(graph: CSRGraph, width: int) -> np.ndarray:
+    """BitmapCSR words per neighbour row, computed in one vectorised pass."""
+    if width == 0:
+        return graph.degrees.astype(np.int64)
+    idx = graph.indices.astype(np.int64) // width
+    if idx.size == 0:
+        return np.zeros(graph.num_vertices, dtype=np.int64)
+    flag = np.ones(idx.size, dtype=np.int64)
+    flag[1:] = (idx[1:] != idx[:-1]).astype(np.int64)
+    starts = graph.indptr[:-1]
+    flag[starts[starts < idx.size]] = 1
+    csum = np.concatenate([[0], np.cumsum(flag)])
+    return csum[graph.indptr[1:]] - csum[graph.indptr[:-1]]
+
+
+def set_stream_words(vertices: np.ndarray, width: int) -> int:
+    """Stream length in BitmapCSR words of an arbitrary sorted set."""
+    n = int(vertices.size)
+    if width == 0 or n == 0:
+        return n
+    blocks = vertices // width
+    return 1 + int(np.count_nonzero(blocks[1:] != blocks[:-1]))
+
+
+# -- per-task expansion (event backend) -------------------------------------
+
+
+@dataclass
+class SetOpRecord:
+    """One set operation of a task, functionally resolved.
+
+    The temporal layer derives the operation's merge boundaries (and hence
+    its exact cycle cost) from the three arrays — the simulator never
+    re-derives what the functional layer already knows.
+    """
+
+    kind: str  # "set_int" | "set_diff"
+    operand_vertex: int  # data vertex whose neighbour row is the B stream
+    a: np.ndarray  # input set before the operation
+    b: np.ndarray  # the neighbour row
+    out: np.ndarray  # result
+
+
+@dataclass
+class TaskExpansion:
+    """Functional outcome of one task: candidate set, ops, children."""
+
+    #: how the seed set was obtained: "reuse" (ancestor's stored set, no
+    #: computation), "stored" (ancestor's set extended by extra ops) or
+    #: "neighbors" (a fresh neighbour-row load)
+    mode: str
+    #: ancestor level for "reuse"/"stored" modes
+    source_level: int | None
+    #: data vertex whose row seeds the set in "neighbors" mode
+    source_vertex: int | None
+    ops: list[SetOpRecord]
+    result: np.ndarray  # final candidate set, before filters
+    filtered: np.ndarray  # after bound/distinctness/label filters
+    is_leaf: bool
+    count: int  # leaf count contribution (0 for interior tasks)
+
+
+def leaf_count(filtered_size: int, collection: str) -> int:
+    """Embeddings contributed by one leaf task's filtered candidate set."""
+    if collection == "choose2":
+        return filtered_size * (filtered_size - 1) // 2
+    return filtered_size  # enumerate / count_last
+
+
+def expand_task(
+    graph: CSRGraph, plan: MatchingPlan, task
+) -> TaskExpansion:
+    """Compute one task's candidate set (exact, no timing).
+
+    For interior tasks the raw (pre-filter) set is stored on the task so
+    descendants can extend it (prefix reuse / ``reuse_from``).
+    """
+    lv = plan.levels[task.level]
+    emb = task.embedding
+    ops: list[SetOpRecord] = []
+    source_level: int | None = None
+    source_vertex: int | None = None
+
+    if lv.reuse_from is not None:
+        mode = "reuse"
+        source_level = lv.reuse_from
+        s = task.ancestor(lv.reuse_from).raw_set
+        assert s is not None
+    else:
+        if lv.base is not None:
+            mode = "stored"
+            source_level = lv.base
+            s = task.ancestor(lv.base).raw_set
+            assert s is not None
+            op_deps, op_antis = lv.extra_deps, lv.extra_anti
+        else:
+            mode = "neighbors"
+            source_vertex = emb[lv.deps[0]]
+            s = graph.neighbors(source_vertex)
+            op_deps, op_antis = lv.deps[1:], lv.anti_deps
+        for kind, p in (
+            *(("set_int", p) for p in op_deps),
+            *(("set_diff", p) for p in op_antis),
+        ):
+            u = emb[p]
+            b = graph.neighbors(u)
+            out = (
+                intersect_sorted(s, b)
+                if kind == "set_int"
+                else difference_sorted(s, b)
+            )
+            ops.append(SetOpRecord(kind=kind, operand_vertex=u, a=s, b=b,
+                                   out=out))
+            s = out
+
+    filt = apply_filters(s, lv, emb, graph.labels)
+    is_leaf = task.level == plan.stop_level
+    if is_leaf:
+        count = leaf_count(int(filt.size), plan.collection)
+    else:
+        count = 0
+        task.raw_set = s  # descendants extend / re-read this set
+    return TaskExpansion(
+        mode=mode,
+        source_level=source_level,
+        source_vertex=source_vertex,
+        ops=ops,
+        result=s,
+        filtered=filt,
+        is_leaf=is_leaf,
+        count=count,
+    )
+
+
+# -- whole-frontier expansion (batched backend) ------------------------------
+
+
+@dataclass
+class FrontierLevel:
+    """One level-synchronous expansion step and its aggregate statistics.
+
+    ``embeddings`` holds the surviving partial embeddings *after* this
+    level's filters (one row per search-tree node); on the leaf level it is
+    empty and ``count`` carries the closed-form embedding total instead.
+    Aggregates (``words_*``, ``set_ops``, ``comparisons``) feed the
+    analytic temporal model.
+    """
+
+    level: int
+    tasks: int
+    embeddings: np.ndarray
+    count: int = 0
+    set_ops: int = 0
+    comparisons: int = 0
+    words_in: int = 0
+    words_out: int = 0
+
+
+class FrontierExpander:
+    """Reusable bulk expansion state for one ``(graph, plan)`` pair."""
+
+    def __init__(
+        self, graph: CSRGraph, plan: MatchingPlan, bitmap_width: int = 0
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        # adjacency oracle: packed bitset (one byte gather per query) for
+        # small graphs, sorted edge-key binary search beyond the size cap
+        self._adj_bits = packed_adjacency(graph)
+        self._keys = None if self._adj_bits is not None else edge_keys(graph)
+        self._row_words = row_word_counts(graph, bitmap_width)
+
+    def _adjacent(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Boolean mask: does the edge ``(u[i], v[i])`` exist?"""
+        if self._adj_bits is not None:
+            return bulk_adjacency_bits(self._adj_bits, u, v)
+        assert self._keys is not None
+        return bulk_adjacency(self._keys, self.graph.num_vertices, u, v)
+
+    def roots(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Level-0 frontier: one single-column row per (label-valid) root."""
+        graph = self.graph
+        # int32 embeddings: vertex IDs fit and the frontier matrices are
+        # the engine's memory/bandwidth bottleneck
+        if vertices is None:
+            vertices = np.arange(graph.num_vertices, dtype=np.int32)
+        else:
+            vertices = np.asarray(vertices, dtype=np.int32)
+        root_label = self.plan.levels[0].label
+        if root_label is not None and graph.labels is not None:
+            vertices = vertices[graph.labels[vertices] == root_label]
+        return vertices.reshape(-1, 1)
+
+    def expand(self, level: int, emb: np.ndarray) -> FrontierLevel:
+        """Expand every row of ``emb`` through plan level ``level`` at once.
+
+        Prefix-reuse annotations (``base``/``reuse_from``) are cache
+        optimisations for the one-task-at-a-time engines; the bulk
+        formulation computes each level directly from its full
+        ``deps``/``anti_deps`` (algebraically identical), so every level is
+        a gather plus a sequence of bulk masks.
+        """
+        graph = self.graph
+        lv: LevelSpec = self.plan.levels[level]
+        n_rows = int(emb.shape[0])
+        out = FrontierLevel(
+            level=level, tasks=n_rows, embeddings=emb[:0], count=0
+        )
+        if n_rows == 0:
+            return out
+        rw = self._row_words
+        src = emb[:, lv.deps[0]]
+        cand, owner = gather_rows(graph, src)
+        out.words_in += int(rw[src].sum())
+        # cheap per-candidate filters first — bounds, distinctness, labels
+        # (bulk apply_filters) — to shrink the frontier before the dominant
+        # adjacency probes; every filter is an independent per-element
+        # predicate, so the surviving set is order-invariant
+        keep = np.ones(cand.size, dtype=bool)
+        if lv.upper_bounds:
+            bound = emb[:, lv.upper_bounds].min(axis=1)
+            keep &= cand < bound[owner]
+        if lv.lower_bounds:
+            bound = emb[:, lv.lower_bounds].max(axis=1)
+            keep &= cand > bound[owner]
+        for p in lv.exclude:
+            keep &= cand != emb[owner, p]
+        if lv.label is not None and graph.labels is not None:
+            keep &= graph.labels[cand] == lv.label
+        cand = cand[keep]
+        owner = owner[keep]
+        # bulk intersections / differences against the other matched rows
+        for masks, invert in ((lv.deps[1:], False), (lv.anti_deps, True)):
+            for p in masks:
+                # one B-stream read per task (row), as the event engine does
+                other_words = int(rw[emb[:, p]].sum())
+                out.words_in += other_words
+                out.set_ops += n_rows
+                out.comparisons += int(cand.size) + other_words
+                keep = self._adjacent(emb[owner, p], cand)
+                if invert:
+                    np.logical_not(keep, out=keep)
+                cand = cand[keep]
+                owner = owner[keep]
+        out.words_out += int(cand.size)
+        if level == self.plan.stop_level:
+            if self.plan.collection == "choose2":
+                sizes = np.bincount(owner, minlength=n_rows)
+                out.count = int((sizes * (sizes - 1) // 2).sum())
+            else:
+                out.count = int(cand.size)
+        else:
+            out.embeddings = np.column_stack([emb[owner], cand])
+        return out
+
+
+def expand_frontier(
+    graph: CSRGraph,
+    plan: MatchingPlan,
+    roots: np.ndarray | None = None,
+    bitmap_width: int = 0,
+) -> list[FrontierLevel]:
+    """Run a full level-by-level expansion; returns the per-level records."""
+    ex = FrontierExpander(graph, plan, bitmap_width)
+    emb = ex.roots(roots)
+    levels: list[FrontierLevel] = []
+    for level in range(1, plan.stop_level + 1):
+        step = ex.expand(level, emb)
+        levels.append(step)
+        emb = step.embeddings
+    return levels

@@ -1,0 +1,257 @@
+"""Temporal layer: cycle costs charged on top of functional outcomes.
+
+Two cost annotators live here, one per execution style:
+
+:class:`TaskCostAnnotator`
+    The exact per-task model the ``event`` engine uses.  It walks the
+    :class:`~repro.engine.functional.TaskExpansion` op records, streams the
+    corresponding word sequences through the (stateful) memory hierarchy and
+    asks the configured SIU model for each operation's cost — mirroring the
+    Order-Aware SIU microarchitecture (Figure 8): both input streams fetch
+    in parallel through the private cache while the core pipeline consumes
+    them, so one operation costs ``max(first word latencies) + max(compute
+    issue, memory occupancy) + pipeline depth``.
+
+:func:`annotate_frontier_report`
+    The aggregate analytic model the ``batched`` engine uses.  It converts
+    per-level word/op totals into cycle estimates assuming perfectly
+    load-balanced SIUs and bandwidth-limited DRAM streaming — good enough
+    to rank design points in a sweep, and orders of magnitude cheaper than
+    event-driven simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..memory.hierarchy import MemoryHierarchy
+from ..siu.base import SIUCostModel
+from .functional import FrontierLevel, TaskExpansion, set_stream_words
+
+__all__ = [
+    "TASK_DISPATCH_CYCLES",
+    "TASK_COMMIT_CYCLES",
+    "WORD_BYTES",
+    "TaskOutcome",
+    "TaskCostAnnotator",
+    "annotate_frontier_report",
+]
+
+#: fixed cycles for task setup (frame read + operation dispatch, Fig. 10e)
+TASK_DISPATCH_CYCLES = 2
+#: fixed cycles to commit a result back to the task tree
+TASK_COMMIT_CYCLES = 1
+#: bytes per stream word (vertex IDs / BitmapCSR words are 32-bit)
+WORD_BYTES = 4
+
+
+@dataclass
+class TaskOutcome:
+    """What executing one task produced.
+
+    ``elapsed`` is the task's completion latency (when its children become
+    ready); ``occupancy`` is how long it blocks the SIU — a fully pipelined
+    unit frees up while its last operation drains, so the final operation's
+    pipeline-depth tail is latency but not occupancy.
+    """
+
+    elapsed: float
+    occupancy: float
+    count_delta: int
+    children: np.ndarray  # vertices to spawn at the next level
+    set_ops: int
+    comparisons: int
+    words_in: int
+    words_out: int
+
+
+class TaskCostAnnotator:
+    """Exact per-task cycle charging against shared memory state."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        siu: SIUCostModel,
+        memory: MemoryHierarchy,
+        row_words: np.ndarray,
+        task_overhead_cycles: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.siu = siu
+        self.memory = memory
+        self.task_overhead = task_overhead_cycles
+        self._width = siu.bitmap_width
+        self._row_words = row_words
+
+    def annotate(
+        self, expansion: TaskExpansion, task, pe: int, now: float
+    ) -> TaskOutcome:
+        """Charge hardware time for one functionally-expanded task."""
+        graph = self.graph
+        memory = self.memory
+        siu = self.siu
+        throughput = siu.throughput
+        elapsed = float(TASK_DISPATCH_CYCLES + self.task_overhead)
+        tail_depth = 0.0
+        set_ops = 0
+        comparisons = 0
+        words_in = 0
+        words_out = 0
+
+        if expansion.mode == "reuse":
+            # Candidate set already materialised by an ancestor: stream it
+            # back out of the candidate buffer, no SIU computation.
+            anc = task.ancestor(expansion.source_level)
+            w = anc.raw_words
+            mem = memory.stream_read(now + elapsed, pe, anc.scratch_addr, w)
+            scan = -(-w // throughput)
+            elapsed += mem.first_latency + max(scan, mem.stream_cycles)
+            words_in += w
+        else:
+            if expansion.mode == "stored":
+                anc = task.ancestor(expansion.source_level)
+                src_addr, src_words = anc.scratch_addr, anc.raw_words
+            else:
+                u = expansion.source_vertex
+                src_addr = graph.row_address(u)
+                src_words = int(self._row_words[u])
+            mem_a = memory.stream_read(now + elapsed, pe, src_addr, src_words)
+            words_in += src_words
+            pending_first = mem_a.first_latency
+            pending_stream = mem_a.stream_cycles
+            wa = src_words
+            if not expansion.ops:
+                # pure load: stream the neighbour list through the unit
+                scan = -(-src_words // throughput)
+                elapsed += pending_first + max(scan, pending_stream)
+            for rec in expansion.ops:
+                u = rec.operand_vertex
+                wb = int(self._row_words[u])
+                mem_b = memory.stream_read(
+                    now + elapsed, pe, graph.row_address(u), wb
+                )
+                words_in += wb
+                s, b, out = rec.a, rec.b, rec.out
+                na, nb, nout = int(s.size), int(b.size), int(out.size)
+                # merge boundaries at vertex level, scaled to word streams
+                if na and nb:
+                    lim = min(int(s[-1]), int(b[-1]))
+                    i_end = int(s.searchsorted(lim, side="right"))
+                    j_end = int(b.searchsorted(lim, side="right"))
+                    c_a = na + int(b.searchsorted(int(s[-1]), side="left"))
+                    c_b = nb + int(s.searchsorted(int(b[-1]), side="right"))
+                    matches = nout if rec.kind == "set_int" else na - nout
+                    if self._width:
+                        ra, rb = wa / na, wb / nb
+                        i_end = min(round(i_end * ra), wa)
+                        j_end = min(round(j_end * rb), wb)
+                        c_a = wa + min(round((c_a - na) * rb), wb)
+                        c_b = wb + min(round((c_b - nb) * ra), wa)
+                        matches = min(
+                            round(matches * min(ra, rb)), i_end, j_end
+                        )
+                else:
+                    i_end = j_end = matches = 0
+                    c_a, c_b = na, nb
+                cost = siu.cost_terms(
+                    wa, wb, i_end, j_end, matches, rec.kind,
+                    c_a=c_a, c_b=c_b,
+                )
+                elapsed += (
+                    max(pending_first, mem_b.first_latency)
+                    + max(
+                        cost.issue_cycles, pending_stream, mem_b.stream_cycles
+                    )
+                    + cost.pipeline_depth
+                )
+                tail_depth = (
+                    float(cost.pipeline_depth)
+                    if siu.pipelined_across_ops
+                    else 0.0
+                )
+                set_ops += 1
+                comparisons += cost.comparisons
+                wa = set_stream_words(out, self._width)
+                # subsequent ops read the previous result from the unit's
+                # local buffer: no further memory latency on the A side
+                pending_first = 0.0
+                pending_stream = 0.0
+
+        children: np.ndarray = expansion.filtered[:0]
+        if expansion.is_leaf:
+            elapsed += TASK_COMMIT_CYCLES
+        else:
+            # store the raw candidate set for descendants, spawn children
+            task.raw_words = set_stream_words(expansion.result, self._width)
+            if task.raw_words:
+                task.scratch_addr = memory.allocate_scratch(
+                    pe, task.raw_words
+                )
+                wr = memory.stream_write(
+                    now + elapsed, pe, task.scratch_addr, task.raw_words
+                )
+                elapsed += wr.stream_cycles
+                words_out += task.raw_words
+            children = expansion.filtered
+            elapsed += TASK_COMMIT_CYCLES
+        return TaskOutcome(
+            elapsed=elapsed,
+            occupancy=max(elapsed - tail_depth, 1.0),
+            count_delta=expansion.count,
+            children=children,
+            set_ops=set_ops,
+            comparisons=comparisons,
+            words_in=words_in,
+            words_out=words_out,
+        )
+
+
+def annotate_frontier_report(
+    report,
+    levels: list[FrontierLevel],
+    graph: CSRGraph,
+    config,
+    siu: SIUCostModel,
+) -> None:
+    """Fill a ``SimReport``'s timing fields from aggregate frontier stats.
+
+    The model assumes the per-level work spreads perfectly over every SIU
+    (issue cycles proportional to streamed words, plus fixed per-task
+    dispatch/commit overhead) and overlaps with a bandwidth-limited DRAM
+    stream; each level contributes ``max(compute, memory)`` plus one
+    pipeline fill.  Deliberately optimistic about load balance — this is a
+    throughput estimate for sweeps, not an event-accurate makespan.
+    """
+    num_sius = max(config.num_pes * config.sius_per_pe, 1)
+    throughput = max(siu.throughput, 1)
+    per_task = (
+        TASK_DISPATCH_CYCLES + TASK_COMMIT_CYCLES
+        + config.task_overhead_cycles
+    )
+    bytes_per_cycle = (
+        config.dram.channels * config.dram.bytes_per_cycle_per_channel
+    )
+    busy = 0.0
+    cycles = 0.0
+    for st in levels:
+        issue = st.words_in / throughput + st.tasks * per_task
+        mem_cycles = st.words_in * WORD_BYTES / bytes_per_cycle
+        cycles += max(issue / num_sius, mem_cycles) + siu.pipeline_depth
+        busy += issue
+        report.tasks += st.tasks
+        report.set_ops += st.set_ops
+        report.comparisons += st.comparisons
+        report.words_in += st.words_in
+        report.words_out += st.words_out
+        report.embeddings += st.count
+    report.cycles = cycles
+    report.siu_busy_cycles = busy
+    report.num_sius = num_sius
+    # cold-stream estimate: adjacency touched once, plus spilled frontiers
+    report.dram_bytes = WORD_BYTES * (
+        int(graph.indices.size) + report.words_out
+    )
+    report.per_pe_busy = [busy / config.num_pes] * config.num_pes

@@ -89,11 +89,7 @@ def _run(
     levels = plan.levels
     depth = plan.depth
     collection = plan.collection
-    stop_level = {
-        "enumerate": depth - 1,
-        "count_last": depth - 1,
-        "choose2": depth - 2,
-    }[collection]
+    stop_level = plan.stop_level
     if stop_level < 1:
         raise PlanError("plan too shallow for its collection mode")
     embedding = [0] * depth

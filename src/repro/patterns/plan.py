@@ -121,6 +121,17 @@ class MatchingPlan:
     def depth(self) -> int:
         return len(self.levels)
 
+    @property
+    def stop_level(self) -> int:
+        """Deepest level actually executed (leaf of the search tree).
+
+        ``choose2`` collapses the final two levels into one closed-form
+        count, so its leaf sits one level higher than the plan depth.
+        """
+        if self.collection == "choose2":
+            return self.depth - 2
+        return self.depth - 1  # enumerate / count_last
+
     def describe(self) -> str:
         lines = [
             f"plan for {self.pattern.name} "

@@ -1,6 +1,14 @@
 """Exact functional/cycle models of the set-operation hardware pipelines."""
 
 from .bitonic import OrderAwarePipeline, bitonic_merge_segment, min_stage
+from .bulk import (
+    bulk_adjacency,
+    bulk_adjacency_bits,
+    bulk_membership,
+    edge_keys,
+    gather_rows,
+    packed_adjacency,
+)
 from .merge_queue import MergeQueuePipeline
 from .reference import (
     difference_sorted,
@@ -22,10 +30,16 @@ __all__ = [
     "SetOpTrace",
     "SystolicMergeArray",
     "bitonic_merge_segment",
+    "bulk_adjacency",
+    "bulk_adjacency_bits",
+    "bulk_membership",
     "difference_sorted",
+    "edge_keys",
     "galloping_comparison_count",
+    "gather_rows",
     "intersect_count",
     "intersect_sorted",
     "merge_comparison_count",
     "min_stage",
+    "packed_adjacency",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import SystemConfig
+from ..engine.base import get_engine
 from ..graph.csr import CSRGraph
 from ..patterns.executor import apply_filters
 from ..patterns.plan import MatchingPlan
@@ -114,11 +115,7 @@ class HostModel:
         self.rocc.config_tasklist(plan)
         host_cycles = 3 * HOST_ROCC_ISSUE_CYCLES
         start_tasks = None
-        stop_level = {
-            "enumerate": plan.depth - 1,
-            "count_last": plan.depth - 1,
-            "choose2": plan.depth - 2,
-        }[plan.collection]
+        stop_level = plan.stop_level
         if stop_level > self.config.max_hw_levels:
             hw_start = stop_level - self.config.max_hw_levels + 1
             prefix = self._software_prefix(graph, plan, hw_start)
@@ -133,5 +130,10 @@ class HostModel:
 def run_on_soc(
     graph: CSRGraph, plan: MatchingPlan, config: SystemConfig
 ) -> SimReport:
-    """End-to-end SoC run: host + RoCC + accelerator."""
-    return HostModel(config).run(graph, plan)
+    """Run a workload on the configured execution engine.
+
+    ``config.engine`` selects the backend: the default ``event`` engine is
+    the full SoC flow (host + RoCC + event-driven accelerator simulation);
+    ``batched`` runs the vectorised frontier engine with analytic timing.
+    """
+    return get_engine(config.engine).run(graph, plan, config)

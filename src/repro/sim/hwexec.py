@@ -1,74 +1,56 @@
 """Hardware task execution: functional result + cycle cost of one task.
 
 Each task computes the candidate set for one level of the matching plan.
-The functional result comes from the NumPy reference kernels (so counts are
-exact); the cycle cost combines the configured SIU model's compute cost with
-the memory hierarchy's stream timings, mirroring the Order-Aware SIU's
-micro-architecture (Figure 8): both input streams are fetched in parallel
-through the private cache while the core pipeline consumes them, so one
-operation costs ``max(first word latencies) + max(compute issue, memory
-occupancy) + pipeline depth``.
+Since the engine-layer refactor this module is a thin composition of the two
+layers in :mod:`repro.engine`:
+
+* the **functional layer** (:func:`repro.engine.functional.expand_task`)
+  computes the exact candidate set with the NumPy reference kernels;
+* the **temporal layer** (:class:`repro.engine.temporal.TaskCostAnnotator`)
+  charges the modelled hardware time — SIU cost terms plus memory stream
+  timings — against the shared memory hierarchy state.
 
 Word-stream lengths (BitmapCSR words per set) are pre-computed per graph row
 and cached per intermediate set, and the merge boundaries the cost formulas
 need are derived from the functional result — the simulator never re-derives
 what it already knows, which keeps per-task overhead low.
+
+``TASK_DISPATCH_CYCLES``/``TASK_COMMIT_CYCLES`` and :class:`TaskOutcome`
+now live in :mod:`repro.engine.temporal`; they are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..engine.functional import (
+    expand_task,
+    row_word_counts,
+    set_stream_words,
+)
+from ..engine.temporal import (
+    TASK_COMMIT_CYCLES,
+    TASK_DISPATCH_CYCLES,
+    TaskCostAnnotator,
+    TaskOutcome,
+)
 from ..graph.csr import CSRGraph
 from ..memory.hierarchy import MemoryHierarchy
-from ..patterns.executor import apply_filters
 from ..patterns.plan import MatchingPlan
-from ..setops.reference import difference_sorted, intersect_sorted
 from ..siu.base import SIUCostModel
 
-__all__ = ["TaskOutcome", "HardwareTaskExecutor"]
-
-#: fixed cycles for task setup (frame read + operation dispatch, Fig. 10e)
-TASK_DISPATCH_CYCLES = 2
-#: fixed cycles to commit a result back to the task tree
-TASK_COMMIT_CYCLES = 1
-
-
-@dataclass
-class TaskOutcome:
-    """What executing one task produced.
-
-    ``elapsed`` is the task's completion latency (when its children become
-    ready); ``occupancy`` is how long it blocks the SIU — a fully pipelined
-    unit frees up while its last operation drains, so the final operation's
-    pipeline-depth tail is latency but not occupancy.
-    """
-
-    elapsed: float
-    occupancy: float
-    count_delta: int
-    children: np.ndarray  # vertices to spawn at the next level
-    set_ops: int
-    comparisons: int
-    words_in: int
-    words_out: int
+__all__ = [
+    "TASK_COMMIT_CYCLES",
+    "TASK_DISPATCH_CYCLES",
+    "TaskOutcome",
+    "HardwareTaskExecutor",
+]
 
 
 def _row_word_counts(graph: CSRGraph, width: int) -> np.ndarray:
-    """BitmapCSR words per neighbour row, computed in one vectorised pass."""
-    if width == 0:
-        return graph.degrees.astype(np.int64)
-    idx = graph.indices.astype(np.int64) // width
-    if idx.size == 0:
-        return np.zeros(graph.num_vertices, dtype=np.int64)
-    flag = np.ones(idx.size, dtype=np.int64)
-    flag[1:] = (idx[1:] != idx[:-1]).astype(np.int64)
-    starts = graph.indptr[:-1]
-    flag[starts[starts < idx.size]] = 1
-    csum = np.concatenate([[0], np.cumsum(flag)])
-    return csum[graph.indptr[1:]] - csum[graph.indptr[:-1]]
+    """BitmapCSR words per neighbour row (compat alias for the engine layer)."""
+    return row_word_counts(graph, width)
 
 
 class HardwareTaskExecutor:
@@ -87,163 +69,22 @@ class HardwareTaskExecutor:
         self.siu = siu
         self.memory = memory
         self.task_overhead = task_overhead_cycles
-        self.stop_level = {
-            "enumerate": plan.depth - 1,
-            "count_last": plan.depth - 1,
-            "choose2": plan.depth - 2,
-        }[plan.collection]
+        self.stop_level = plan.stop_level
         self._width = siu.bitmap_width
-        self._row_words = _row_word_counts(graph, self._width)
+        self._row_words = row_word_counts(graph, self._width)
+        self._annotator = TaskCostAnnotator(
+            graph,
+            siu,
+            memory,
+            self._row_words,
+            task_overhead_cycles=task_overhead_cycles,
+        )
 
     def set_words(self, vertices: np.ndarray) -> int:
         """Stream length in BitmapCSR words of an arbitrary sorted set."""
-        n = int(vertices.size)
-        if self._width == 0 or n == 0:
-            return n
-        blocks = vertices // self._width
-        return 1 + int(np.count_nonzero(blocks[1:] != blocks[:-1]))
+        return set_stream_words(vertices, self._width)
 
     def execute(self, task, pe: int, now: float) -> TaskOutcome:
         """Run one task on PE ``pe`` starting at time ``now``."""
-        lv = self.plan.levels[task.level]
-        emb = task.embedding
-        graph = self.graph
-        memory = self.memory
-        siu = self.siu
-        throughput = siu.throughput
-        elapsed = float(TASK_DISPATCH_CYCLES + self.task_overhead)
-        tail_depth = 0.0
-        set_ops = 0
-        comparisons = 0
-        words_in = 0
-        words_out = 0
-
-        if lv.reuse_from is not None:
-            # Candidate set already materialised by an ancestor: stream it
-            # back out of the candidate buffer, no SIU computation.
-            anc = task.ancestor(lv.reuse_from)
-            s = anc.raw_set
-            assert s is not None
-            w = anc.raw_words
-            mem = memory.stream_read(now + elapsed, pe, anc.scratch_addr, w)
-            scan = -(-w // throughput)
-            elapsed += mem.first_latency + max(scan, mem.stream_cycles)
-            words_in += w
-        else:
-            if lv.base is not None:
-                anc = task.ancestor(lv.base)
-                s = anc.raw_set
-                assert s is not None
-                src_addr, src_words = anc.scratch_addr, anc.raw_words
-                op_deps, op_antis = lv.extra_deps, lv.extra_anti
-            else:
-                u = emb[lv.deps[0]]
-                s = graph.neighbors(u)
-                src_addr = graph.row_address(u)
-                src_words = int(self._row_words[u])
-                op_deps, op_antis = lv.deps[1:], lv.anti_deps
-            mem_a = memory.stream_read(now + elapsed, pe, src_addr, src_words)
-            words_in += src_words
-            pending_first = mem_a.first_latency
-            pending_stream = mem_a.stream_cycles
-            wa = src_words
-            if not (op_deps or op_antis):
-                # pure load: stream the neighbour list through the unit
-                scan = -(-src_words // throughput)
-                elapsed += pending_first + max(scan, pending_stream)
-            for kind, p in (
-                *(("set_int", p) for p in op_deps),
-                *(("set_diff", p) for p in op_antis),
-            ):
-                u = emb[p]
-                b = graph.neighbors(u)
-                wb = int(self._row_words[u])
-                mem_b = memory.stream_read(
-                    now + elapsed, pe, graph.row_address(u), wb
-                )
-                words_in += wb
-                out = (
-                    intersect_sorted(s, b)
-                    if kind == "set_int"
-                    else difference_sorted(s, b)
-                )
-                na, nb, nout = int(s.size), int(b.size), int(out.size)
-                # merge boundaries at vertex level, scaled to word streams
-                if na and nb:
-                    lim = min(int(s[-1]), int(b[-1]))
-                    i_end = int(s.searchsorted(lim, side="right"))
-                    j_end = int(b.searchsorted(lim, side="right"))
-                    c_a = na + int(b.searchsorted(int(s[-1]), side="left"))
-                    c_b = nb + int(s.searchsorted(int(b[-1]), side="right"))
-                    matches = nout if kind == "set_int" else na - nout
-                    if self._width:
-                        ra, rb = wa / na, wb / nb
-                        i_end = min(round(i_end * ra), wa)
-                        j_end = min(round(j_end * rb), wb)
-                        c_a = wa + min(round((c_a - na) * rb), wb)
-                        c_b = wb + min(round((c_b - nb) * ra), wa)
-                        matches = min(
-                            round(matches * min(ra, rb)), i_end, j_end
-                        )
-                else:
-                    i_end = j_end = matches = 0
-                    c_a, c_b = na, nb
-                cost = siu.cost_terms(
-                    wa, wb, i_end, j_end, matches, kind, c_a=c_a, c_b=c_b
-                )
-                elapsed += (
-                    max(pending_first, mem_b.first_latency)
-                    + max(
-                        cost.issue_cycles, pending_stream, mem_b.stream_cycles
-                    )
-                    + cost.pipeline_depth
-                )
-                tail_depth = (
-                    float(cost.pipeline_depth)
-                    if siu.pipelined_across_ops
-                    else 0.0
-                )
-                set_ops += 1
-                comparisons += cost.comparisons
-                s = out
-                wa = self.set_words(s)
-                # subsequent ops read the previous result from the unit's
-                # local buffer: no further memory latency on the A side
-                pending_first = 0.0
-                pending_stream = 0.0
-
-        filt = apply_filters(s, lv, emb, graph.labels)
-        count = 0
-        children: np.ndarray = filt[:0]
-        if task.level == self.stop_level:
-            if self.plan.collection == "choose2":
-                a = int(filt.size)
-                count = a * (a - 1) // 2
-            else:
-                count = int(filt.size)
-            elapsed += TASK_COMMIT_CYCLES
-        else:
-            # store the raw candidate set for descendants, spawn children
-            task.raw_set = s
-            task.raw_words = self.set_words(s)
-            if task.raw_words:
-                task.scratch_addr = memory.allocate_scratch(
-                    pe, task.raw_words
-                )
-                wr = memory.stream_write(
-                    now + elapsed, pe, task.scratch_addr, task.raw_words
-                )
-                elapsed += wr.stream_cycles
-                words_out += task.raw_words
-            children = filt
-            elapsed += TASK_COMMIT_CYCLES
-        return TaskOutcome(
-            elapsed=elapsed,
-            occupancy=max(elapsed - tail_depth, 1.0),
-            count_delta=count,
-            children=children,
-            set_ops=set_ops,
-            comparisons=comparisons,
-            words_in=words_in,
-            words_out=words_out,
-        )
+        expansion = expand_task(self.graph, self.plan, task)
+        return self._annotator.annotate(expansion, task, pe, now)

@@ -1,0 +1,207 @@
+"""Engine layer tests: registry, config plumbing and backend equivalence.
+
+The contract of the engine layer is that every registered backend computes
+the *same embedding counts* — backends differ only in how they model time.
+The equivalence tests here pin that down for every pattern in ``PATTERNS``
+over random graphs, against the software reference executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, XSetAccelerator, xset_default
+from repro.errors import ConfigError
+from repro.engine import Engine, available_engines, get_engine
+from repro.engine.functional import FrontierExpander, expand_frontier
+from repro.graph import erdos_renyi, powerlaw_graph
+from repro.patterns import PATTERNS, build_plan
+from repro.patterns.executor import count_embeddings
+from repro.sim.report import SimReport
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_engines_listed(self):
+        names = available_engines()
+        assert "event" in names
+        assert "batched" in names
+
+    def test_get_engine_returns_singletons(self):
+        assert get_engine("event") is get_engine("event")
+        assert get_engine("batched") is get_engine("batched")
+
+    def test_engine_names_match(self):
+        for name in available_engines():
+            assert get_engine(name).name == name
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ConfigError, match="unknown execution engine"):
+            get_engine("quantum")
+
+    def test_engines_implement_protocol(self):
+        for name in available_engines():
+            assert isinstance(get_engine(name), Engine)
+
+
+# -- config / API / CLI plumbing ---------------------------------------------
+
+
+class TestSelection:
+    def test_default_engine_is_event(self):
+        assert xset_default().engine == "event"
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(engine="nope")
+
+    def test_config_override(self):
+        cfg = xset_default(engine="batched")
+        assert cfg.engine == "batched"
+
+    def test_accelerator_engine_kwarg(self):
+        accel = XSetAccelerator(engine="batched")
+        assert accel.config.engine == "batched"
+
+    def test_cli_engine_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["count", "--engine", "batched"]
+        )
+        assert args.engine == "batched"
+
+    def test_cli_rejects_unknown_engine(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--engine", "warp"])
+
+
+# -- backend equivalence ------------------------------------------------------
+
+
+def _count_with(engine_name: str, graph, plan) -> SimReport:
+    cfg = xset_default(engine=engine_name)
+    report = get_engine(engine_name).run(graph, plan, cfg)
+    assert isinstance(report, SimReport)
+    return report
+
+
+class TestEquivalence:
+    """Both backends must match the reference count on every pattern."""
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_batched_matches_reference_er(self, name, medium_er):
+        plan = build_plan(PATTERNS[name])
+        want = count_embeddings(medium_er, plan).embeddings
+        got = _count_with("batched", medium_er, plan).embeddings
+        assert got == want
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_batched_matches_reference_skewed(self, name, skewed_graph):
+        plan = build_plan(PATTERNS[name])
+        want = count_embeddings(skewed_graph, plan).embeddings
+        got = _count_with("batched", skewed_graph, plan).embeddings
+        assert got == want
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_event_matches_batched(self, name, small_er):
+        plan = build_plan(PATTERNS[name])
+        ev = _count_with("event", small_er, plan).embeddings
+        ba = _count_with("batched", small_er, plan).embeddings
+        assert ev == ba
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graphs_triangle_family(self, seed):
+        g = erdos_renyi(45, 7.0, seed=seed, name=f"er45-{seed}")
+        for name in ("3CF", "4CF", "TT", "DIA"):
+            plan = build_plan(PATTERNS[name])
+            want = count_embeddings(g, plan).embeddings
+            assert _count_with("batched", g, plan).embeddings == want
+
+    def test_powerlaw_hub_graph(self):
+        g = powerlaw_graph(150, avg_degree=5.0, max_degree=60, seed=9,
+                           triangle_boost=0.4, name="pl150")
+        for name in sorted(PATTERNS):
+            plan = build_plan(PATTERNS[name])
+            want = count_embeddings(g, plan).embeddings
+            assert _count_with("batched", g, plan).embeddings == want
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.empty(8)
+        for name in ("3CF", "WEDGE"):
+            plan = build_plan(PATTERNS[name])
+            assert _count_with("batched", g, plan).embeddings == 0
+
+
+class TestBatchedReport:
+    def test_report_fields_populated(self, medium_er):
+        plan = build_plan(PATTERNS["3CF"])
+        report = _count_with("batched", medium_er, plan)
+        assert report.cycles > 0
+        assert report.tasks > 0
+        assert report.words_in > 0
+        assert report.dram_bytes > 0
+        assert report.wall_seconds >= 0
+
+    def test_root_chunking_preserves_counts(self, skewed_graph):
+        from repro.engine import batched as mod
+
+        plan = build_plan(PATTERNS["TT"])
+        want = count_embeddings(skewed_graph, plan).embeddings
+        old = mod.ROOT_CHUNK
+        try:
+            mod.ROOT_CHUNK = 13  # force many partial-root chunks
+            got = _count_with("batched", skewed_graph, plan).embeddings
+        finally:
+            mod.ROOT_CHUNK = old
+        assert got == want
+
+
+class TestFrontierExpander:
+    def test_expand_frontier_levels(self, medium_er):
+        plan = build_plan(PATTERNS["3CF"])
+        levels = expand_frontier(medium_er, plan)
+        assert [lv.level for lv in levels] == [1, 2]
+        want = count_embeddings(medium_er, plan).embeddings
+        assert levels[-1].count == want
+
+    def test_root_label_filtering(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        g.labels = np.array([0, 1, 0, 1])
+        plan = build_plan(PATTERNS["WEDGE"])
+        ex = FrontierExpander(g, plan)
+        roots = ex.roots()
+        assert roots.shape == (4, 1)
+
+    def test_adjacency_oracle_fallback(self, small_er):
+        """Bitset and edge-key oracles must answer identically."""
+        from repro.setops.bulk import (
+            bulk_adjacency,
+            bulk_adjacency_bits,
+            edge_keys,
+            packed_adjacency,
+        )
+
+        rng = np.random.default_rng(7)
+        u = rng.integers(0, small_er.num_vertices, 500)
+        v = rng.integers(0, small_er.num_vertices, 500)
+        bits = packed_adjacency(small_er)
+        assert bits is not None
+        keys = edge_keys(small_er)
+        got_bits = bulk_adjacency_bits(bits, u, v)
+        got_keys = bulk_adjacency(keys, small_er.num_vertices, u, v)
+        assert np.array_equal(got_bits, got_keys)
+
+    def test_packed_adjacency_size_cap(self, small_er):
+        from repro.setops.bulk import packed_adjacency
+
+        assert packed_adjacency(small_er, max_vertices=10) is None

@@ -40,6 +40,39 @@ class TestRowWordCounts:
         g = CSRGraph.empty(4)
         assert _row_word_counts(g, 8).tolist() == [0, 0, 0, 0]
 
+    def test_zero_vertex_graph(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.empty(0)
+        assert _row_word_counts(g, 8).size == 0
+        assert _row_word_counts(g, 0).size == 0
+
+    def test_isolated_vertices_interleaved(self):
+        """Degree-0 rows between populated rows must count zero words."""
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(6, [(1, 4), (4, 5)])
+        counts = _row_word_counts(g, 4)
+        assert counts[0] == 0 and counts[2] == 0 and counts[3] == 0
+        # row 4 = {1, 5}: blocks 0 and 1 -> two words
+        assert counts[4] == 2
+        assert counts[1] == 1 and counts[5] == 1
+
+    def test_single_block_rows(self):
+        """A row entirely inside one bitmap block costs exactly one word."""
+        from repro.graph import CSRGraph
+
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        g = CSRGraph.from_edges(4, edges)
+        counts = _row_word_counts(g, 8)  # all vertex IDs < 8: one block
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_width_zero_empty_rows(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert _row_word_counts(g, 0).tolist() == [1, 1, 0]
+
 
 class TestExecute:
     def test_load_level_task(self, executor, toy_graph):
@@ -112,3 +145,22 @@ class TestExecute:
         assert ex.set_words(np.array([0, 1, 2, 7])) == 1
         assert ex.set_words(np.array([0, 8, 16])) == 3
         assert ex.set_words(np.array([], dtype=np.int64)) == 0
+
+    def test_set_words_width_zero_is_cardinality(self, executor):
+        # plain sorted-array streams: one word per element
+        assert executor.set_words(np.array([3, 9, 12, 40])) == 4
+        assert executor.set_words(np.array([], dtype=np.int64)) == 0
+
+    def test_set_words_matches_row_word_counts(self, skewed_graph):
+        """set_words on a neighbour row agrees with the bulk row counts."""
+        plan = build_plan(PATTERNS["3CF"])
+        mem = MemoryHierarchy(MemoryConfig(num_pes=1))
+        for width in (0, 4, 16):
+            ex = HardwareTaskExecutor(
+                skewed_graph, plan,
+                make_siu("order-aware", 8, bitmap_width=width), mem,
+            )
+            counts = _row_word_counts(skewed_graph, width)
+            for v in range(0, skewed_graph.num_vertices, 23):
+                row = skewed_graph.neighbors(v)
+                assert ex.set_words(row) == counts[v], (v, width)
