@@ -18,24 +18,34 @@ Quickstart::
 from .errors import (
     ConfigError,
     GraphFormatError,
+    JobCancelledError,
+    JobTimeoutError,
     MemoryModelError,
     PatternError,
     PlanError,
+    QueueFullError,
     SchedulerError,
+    ServiceError,
     SimulationError,
+    WorkerCrashError,
     XSetError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfigError",
     "GraphFormatError",
+    "JobCancelledError",
+    "JobTimeoutError",
     "MemoryModelError",
     "PatternError",
     "PlanError",
+    "QueueFullError",
     "SchedulerError",
+    "ServiceError",
     "SimulationError",
+    "WorkerCrashError",
     "XSetError",
     "__version__",
 ]
@@ -55,6 +65,9 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "XSetAccelerator": "repro.core",
         "SystemConfig": "repro.core",
         "run_experiment": "repro.core",
+        "QueryService": "repro.service",
+        "JobHandle": "repro.service",
+        "JobStatus": "repro.service",
     }
     if name in lazy:
         return getattr(import_module(lazy[name]), name)

@@ -9,6 +9,8 @@ Gives the library a shell-level surface mirroring the paper artifact's
     python -m repro config
     python -m repro area
     python -m repro plan --pattern DIA
+    python -m repro engines
+    python -m repro serve --mode process --nodes 60
 """
 
 from __future__ import annotations
@@ -121,6 +123,62 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from .core.config import SystemConfig
+    from .engine import engine_descriptions
+
+    default = SystemConfig().engine
+    descriptions = engine_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in sorted(descriptions.items()):
+        marker = "*" if name == default else " "
+        print(f"{marker} {name:<{width}}  {description}")
+    print("(* = default engine; select with --engine / "
+          "SystemConfig(engine=...))")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Demo the query service: a batch of jobs over generated graphs."""
+    from .graph.generators import erdos_renyi
+    from .patterns.pattern import PATTERNS
+    from .service import QueryService
+
+    patterns = [PATTERNS[name] for name in ("3CF", "4CF", "TT", "CYC",
+                                            "DIA", "WEDGE", "HOUSE", "C5")]
+    graphs = [
+        erdos_renyi(args.nodes, args.degree, seed=seed,
+                    name=f"er{args.nodes}-{seed}")
+        for seed in (11, 23)
+    ]
+    with QueryService(
+        mode=args.mode,
+        max_workers=args.workers or None,
+    ) as service:
+        handles = []
+        for graph in graphs:
+            gid = service.register_graph(graph)
+            handles += [
+                service.submit(gid, p, engine=args.engine) for p in patterns
+            ]
+        # a second wave of identical queries exercises the result cache
+        for graph in graphs:
+            handles += [
+                service.submit(graph.name, p, engine=args.engine)
+                for p in patterns
+            ]
+        for handle in handles:
+            report = handle.result(timeout=600)
+            origin = "cache" if handle.from_cache else handle.engine
+            print(
+                f"{handle.pattern_name:<6} on {handle.graph_id:<10} "
+                f"{report.embeddings:>10} embeddings   [{origin}]"
+            )
+        print()
+        print(service.stats().summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,12 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--system", choices=_SYSTEMS, default="xset")
     count.add_argument("--pes", type=int, default=0)
     count.add_argument("--sius", type=int, default=0)
+    from .engine import available_engines
+
     count.add_argument(
         "--engine",
-        choices=("event", "batched"),
+        choices=available_engines(),
         default="",
-        help="execution backend: event-driven simulation (default) or "
-        "vectorised batched frontier expansion",
+        help="execution backend (see `python -m repro engines`)",
     )
     count.set_defaults(func=_cmd_count)
 
@@ -171,6 +230,28 @@ def build_parser() -> argparse.ArgumentParser:
         "results", help="consolidated report of regenerated tables/figures"
     )
     results.set_defaults(func=_cmd_results)
+
+    engines = sub.add_parser(
+        "engines", help="list registered execution-engine backends"
+    )
+    engines.set_defaults(func=_cmd_engines)
+
+    serve = sub.add_parser(
+        "serve",
+        help="demo the async query service on generated graphs",
+    )
+    serve.add_argument(
+        "--mode", choices=("process", "thread", "inline"), default="process"
+    )
+    serve.add_argument("--workers", type=int, default=0,
+                       help="pool size (default: one per CPU)")
+    serve.add_argument("--nodes", type=int, default=60,
+                       help="vertices per generated demo graph")
+    serve.add_argument("--degree", type=float, default=8.0,
+                       help="average degree of the demo graphs")
+    serve.add_argument("--engine", choices=available_engines(),
+                       default="batched")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

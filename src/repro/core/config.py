@@ -9,7 +9,7 @@ evaluation: X-SET's default, plus FlexMiner / FINGERS / Shogun as published
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import astuple, dataclass, field, fields, is_dataclass, replace
 
 from ..engine.base import available_engines
 from ..errors import ConfigError
@@ -94,8 +94,34 @@ class SystemConfig:
         return params
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
-        """Copy with fields replaced (used by the sweep benchmarks)."""
+        """Copy with fields replaced (used by the sweep benchmarks).
+
+        Runs the full ``__post_init__`` validation, so bad values — e.g.
+        ``engine="nope"`` — raise :class:`~repro.errors.ConfigError`
+        eagerly instead of failing deep inside a run.
+        """
         return replace(self, **kwargs)
+
+    def cache_key(self) -> tuple:
+        """Stable hashable projection of every configuration field.
+
+        The service result cache keys on this: embedding *counts* only
+        depend on the workload, but a cached :class:`SimReport` also
+        carries timing/utilisation numbers, so any knob that could change
+        the report (engine, PE count, memory subsystem, ...) must be part
+        of the key.  Nested dataclasses flatten to tuples and dict params
+        to sorted item tuples so the result is hashable and
+        order-insensitive.
+        """
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if is_dataclass(value):
+                value = (type(value).__name__,) + astuple(value)
+            elif isinstance(value, dict):
+                value = tuple(sorted(value.items()))
+            parts.append((f.name, value))
+        return tuple(parts)
 
 
 def xset_default(**overrides) -> SystemConfig:

@@ -44,10 +44,17 @@ def pattern_diameter(pattern: Pattern) -> int:
 
 
 class IncrementalGPM:
-    """Maintains an exact pattern count across edge updates."""
+    """Maintains an exact pattern count across edge updates.
+
+    ``on_update`` is an optional observer called *after* every applied
+    insertion/deletion as ``on_update(self, u, v, inserted, delta)``.  The
+    service layer hooks this to invalidate (or delta-patch) cached results
+    whose graph changed — see ``QueryService.dynamic_session``.
+    """
 
     def __init__(self, graph: CSRGraph, pattern: Pattern,
-                 induced: bool | None = None) -> None:
+                 induced: bool | None = None,
+                 on_update=None) -> None:
         self.pattern = pattern
         self.plan: MatchingPlan = build_plan(pattern, induced=induced)
         self._radius = pattern_diameter(pattern)
@@ -57,6 +64,7 @@ class IncrementalGPM:
         ]
         self.count = count_embeddings(graph, self.plan).embeddings
         self.updates_applied = 0
+        self.on_update = on_update
 
     # -- graph bookkeeping ----------------------------------------------------
 
@@ -120,6 +128,8 @@ class IncrementalGPM:
         delta = after - before
         self.count += delta
         self.updates_applied += 1
+        if self.on_update is not None:
+            self.on_update(self, u, v, True, delta)
         return delta
 
     def remove_edge(self, u: int, v: int) -> int:
@@ -135,6 +145,8 @@ class IncrementalGPM:
         delta = after - before
         self.count += delta
         self.updates_applied += 1
+        if self.on_update is not None:
+            self.on_update(self, u, v, False, delta)
         return delta
 
     # -- export -------------------------------------------------------------------

@@ -14,11 +14,18 @@ Select a backend with ``SystemConfig(engine="batched")``,
 --engine batched``.
 """
 
-from .base import Engine, available_engines, get_engine, register_engine
+from .base import (
+    Engine,
+    available_engines,
+    engine_descriptions,
+    get_engine,
+    register_engine,
+)
 
 __all__ = [
     "Engine",
     "available_engines",
+    "engine_descriptions",
     "get_engine",
     "register_engine",
 ]

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Engine",
     "available_engines",
+    "engine_descriptions",
     "get_engine",
     "register_engine",
 ]
@@ -49,6 +50,10 @@ class Engine(ABC):
 
     #: registry key and the value of ``SystemConfig.engine`` that selects it
     name: str = "engine"
+
+    #: one-line human description shown by ``python -m repro engines``;
+    #: falls back to the first line of the class docstring when empty
+    description: str = ""
 
     @abstractmethod
     def run(
@@ -95,11 +100,8 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(set(_REGISTRY) | set(_LAZY)))
 
 
-def get_engine(name: str) -> Engine:
-    """The engine registered under ``name`` (one cached instance per name)."""
-    engine = _INSTANCES.get(name)
-    if engine is not None:
-        return engine
+def _engine_class(name: str) -> type[Engine]:
+    """Resolve (importing lazily if needed) the class behind ``name``."""
     cls = _REGISTRY.get(name)
     if cls is None:
         target = _LAZY.get(name)
@@ -111,6 +113,28 @@ def get_engine(name: str) -> Engine:
         module, _, attr = target.partition(":")
         cls = getattr(import_module(module), attr)
         _REGISTRY[name] = cls
-    engine = cls()
+    return cls
+
+
+def engine_descriptions() -> dict[str, str]:
+    """``{name: one-line description}`` for every registered backend.
+
+    Resolves lazy backends (imports their modules), so keep this off the
+    library's hot import path — it exists for CLI/introspection surfaces.
+    """
+    out: dict[str, str] = {}
+    for name in available_engines():
+        cls = _engine_class(name)
+        desc = cls.description or (cls.__doc__ or "").strip().splitlines()[0]
+        out[name] = desc.strip()
+    return out
+
+
+def get_engine(name: str) -> Engine:
+    """The engine registered under ``name`` (one cached instance per name)."""
+    engine = _INSTANCES.get(name)
+    if engine is not None:
+        return engine
+    engine = _engine_class(name)()
     _INSTANCES[name] = engine
     return engine

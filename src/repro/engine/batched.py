@@ -47,6 +47,10 @@ class BatchedEngine(Engine):
     """Whole-frontier execution with aggregate analytic timing."""
 
     name = "batched"
+    description = (
+        "vectorised level-synchronous frontier expansion with analytic "
+        "timing — orders of magnitude faster when only counts matter"
+    )
 
     def __init__(self, root_chunk: int = ROOT_CHUNK) -> None:
         self.root_chunk = max(int(root_chunk), 1)

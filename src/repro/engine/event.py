@@ -28,6 +28,10 @@ class EventEngine(Engine):
     """Event-driven cycle-approximate execution (host + RoCC + PEs)."""
 
     name = "event"
+    description = (
+        "cycle-approximate event-driven SoC simulation "
+        "(host + RoCC + PEs) — the reference for architectural studies"
+    )
 
     def run(
         self,

@@ -38,3 +38,27 @@ class SchedulerError(SimulationError):
 
 class MemoryModelError(SimulationError):
     """The cache/DRAM model was asked to do something impossible."""
+
+
+class ServiceError(XSetError):
+    """The query service could not accept, run or deliver a job."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded job queue is full (backpressure signal).
+
+    Callers should retry later or shed load; the service never blocks a
+    submitter waiting for queue space.
+    """
+
+
+class JobTimeoutError(ServiceError):
+    """A job's deadline expired before the service could run it."""
+
+
+class JobCancelledError(ServiceError):
+    """The result of a cancelled job was requested."""
+
+
+class WorkerCrashError(ServiceError):
+    """A pool worker died while running a job (retries exhausted)."""

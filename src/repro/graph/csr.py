@@ -14,6 +14,7 @@ that many consecutive neighbour IDs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -153,6 +154,24 @@ class CSRGraph:
         row = self.neighbors(u)
         i = int(np.searchsorted(row, v))
         return i < row.size and int(row[i]) == v
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph's structure and labels.
+
+        Two graphs share a fingerprint iff they have identical ``indptr``,
+        ``indices`` and ``labels`` arrays — ``name`` and ``base_address``
+        are presentation/simulation concerns and deliberately excluded.
+        The service layer keys its result cache on this value, so any edge
+        edit (which changes the CSR arrays) invalidates cached counts.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.int64(self.num_vertices).tobytes())
+        h.update(np.ascontiguousarray(self.indptr).tobytes())
+        h.update(np.ascontiguousarray(self.indices).tobytes())
+        if self.labels is not None:
+            h.update(b"labels")
+            h.update(np.ascontiguousarray(self.labels).tobytes())
+        return h.hexdigest()
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""

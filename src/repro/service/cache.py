@@ -1,0 +1,131 @@
+"""Result cache: LRU over ``(graph fingerprint, pattern, config)`` keys.
+
+The pattern component is *canonical* — isomorphic patterns (same structure
+and labels, any vertex numbering or name) map to the same key, so a query
+for a hand-built triangle hits the entry cached for ``PATTERNS["3CF"]``.
+The config component is :meth:`SystemConfig.cache_key`, because a cached
+:class:`SimReport` carries timing numbers that depend on every knob, not
+just the count-relevant ones.
+
+Eviction is LRU with a fixed capacity; ``invalidate_fingerprint`` removes
+(and returns) every entry of a graph that changed, which is how edge
+updates through :class:`~repro.core.incremental.IncrementalGPM` are wired
+to the cache (the returned entries let the service delta-patch counts for
+the new fingerprint instead of recomputing from scratch).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from functools import lru_cache
+from itertools import permutations
+from typing import TYPE_CHECKING, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..patterns.pattern import Pattern
+    from ..sim.report import SimReport
+
+__all__ = ["CacheKey", "ResultCache", "pattern_cache_key"]
+
+
+class CacheKey(NamedTuple):
+    """One result-cache key; a plain tuple so it pickles and hashes."""
+
+    fingerprint: str
+    pattern_key: tuple
+    config_key: tuple
+
+    def with_fingerprint(self, fingerprint: str) -> "CacheKey":
+        """The same query keyed against an updated graph snapshot."""
+        return self._replace(fingerprint=fingerprint)
+
+
+@lru_cache(maxsize=256)
+def _canonical_form(
+    num_vertices: int,
+    edges: tuple[tuple[int, int], ...],
+    labels: tuple[int, ...] | None,
+) -> tuple:
+    """Lexicographically minimal (edge set, labels) over all relabelings.
+
+    Patterns are tiny (≤ ~8 vertices) so brute-force permutation search is
+    exact and cheap, mirroring ``motif_patterns``'s canonicalisation.
+    """
+    best = None
+    for perm in permutations(range(num_vertices)):
+        relabeled_edges = tuple(sorted(
+            (min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in edges
+        ))
+        relabeled_labels = None
+        if labels is not None:
+            out = [0] * num_vertices
+            for v, lab in enumerate(labels):
+                out[perm[v]] = lab
+            relabeled_labels = tuple(out)
+        candidate = (relabeled_edges, relabeled_labels)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None
+    return (num_vertices,) + best
+
+
+def pattern_cache_key(pattern: "Pattern", induced: bool | None) -> tuple:
+    """Canonical, name-independent cache key for one query pattern."""
+    return _canonical_form(
+        pattern.num_vertices, tuple(pattern.edge_list), pattern.labels
+    ) + (bool(induced),)
+
+
+class ResultCache:
+    """Bounded LRU mapping :class:`CacheKey` → :class:`SimReport`."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = max(int(capacity), 1)
+        self._entries: "OrderedDict[CacheKey, SimReport]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: CacheKey) -> "SimReport | None":
+        with self._lock:
+            report = self._entries.get(key)
+            if report is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return report
+
+    def put(self, key: CacheKey, report: "SimReport") -> None:
+        with self._lock:
+            self._entries[key] = report
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_fingerprint(
+        self, fingerprint: str
+    ) -> list[tuple[CacheKey, "SimReport"]]:
+        """Drop every entry of one graph snapshot; returns what was dropped."""
+        with self._lock:
+            dead = [k for k in self._entries if k.fingerprint == fingerprint]
+            dropped = [(k, self._entries.pop(k)) for k in dead]
+            self.invalidations += len(dropped)
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,117 @@
+"""The graph registry: load once, ship to workers by id.
+
+Graphs are registered with the service once and referenced by id in every
+job, so a 16-job batch on one graph serialises the CSR arrays a single
+time (``GraphRecord.payload`` caches the pickled bytes) and each pool
+worker deserialises them at most once per fingerprint (see
+:mod:`repro.service.worker`).  ``update`` swaps in a new snapshot of a
+dynamic graph under the same id; the fingerprint change is what
+invalidates cached results.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from ..graph.csr import CSRGraph
+
+__all__ = ["GraphRecord", "GraphRegistry"]
+
+
+@dataclass
+class GraphRecord:
+    """One registered graph plus its derived shipping artifacts."""
+
+    graph_id: str
+    graph: CSRGraph
+    fingerprint: str
+    #: monotonically increasing per-id version (bumped by ``update``)
+    version: int = 1
+    _payload: bytes | None = field(default=None, repr=False)
+
+    @property
+    def payload(self) -> bytes:
+        """Pickled graph bytes, serialised once and reused per job."""
+        if self._payload is None:
+            self._payload = pickle.dumps(self.graph, protocol=-1)
+        return self._payload
+
+
+class GraphRegistry:
+    """Thread-safe id → :class:`GraphRecord` mapping."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, GraphRecord] = {}
+        self._lock = threading.Lock()
+
+    def register(self, graph: CSRGraph, graph_id: str | None = None) -> str:
+        """Register ``graph``; returns its id (defaults to ``graph.name``).
+
+        Re-registering the identical graph under the same id is a no-op;
+        registering a *different* graph under a taken id raises — use
+        :meth:`update` to replace a graph deliberately.
+        """
+        gid = graph_id or graph.name
+        fingerprint = graph.fingerprint()
+        with self._lock:
+            existing = self._records.get(gid)
+            if existing is not None:
+                if existing.fingerprint == fingerprint:
+                    return gid
+                raise ServiceError(
+                    f"graph id {gid!r} already registered with different "
+                    f"content; use update_graph() to replace it"
+                )
+            self._records[gid] = GraphRecord(
+                graph_id=gid, graph=graph, fingerprint=fingerprint
+            )
+        return gid
+
+    def get(self, graph_id: str) -> GraphRecord:
+        with self._lock:
+            record = self._records.get(graph_id)
+        if record is None:
+            known = ", ".join(sorted(self._records)) or "<none>"
+            raise ServiceError(
+                f"unknown graph id {graph_id!r}; registered: {known}"
+            )
+        return record
+
+    def update(self, graph_id: str, graph: CSRGraph) -> tuple[str, str]:
+        """Replace the graph behind ``graph_id``; returns (old, new) prints.
+
+        The caller (the service) is responsible for invalidating cache
+        entries keyed on the old fingerprint.
+        """
+        fingerprint = graph.fingerprint()
+        with self._lock:
+            record = self._records.get(graph_id)
+            if record is None:
+                raise ServiceError(f"unknown graph id {graph_id!r}")
+            old = record.fingerprint
+            self._records[graph_id] = GraphRecord(
+                graph_id=graph_id,
+                graph=graph,
+                fingerprint=fingerprint,
+                version=record.version + 1,
+            )
+        return old, fingerprint
+
+    def unregister(self, graph_id: str) -> None:
+        with self._lock:
+            self._records.pop(graph_id, None)
+
+    def ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._records))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, graph_id: str) -> bool:
+        with self._lock:
+            return graph_id in self._records

@@ -1,0 +1,107 @@
+"""Job queue and retry policy for the service dispatcher.
+
+The queue is a bounded binary heap ordered by ``(priority, submit seq)`` —
+lower priority values dispatch first, FIFO within a priority class, which
+is the process-level analogue of the X-SET scheduler's in-order TaskSet
+draining.  Backpressure is a typed error, never a blocking submit: a full
+queue raises :class:`~repro.errors.QueueFullError` so callers can shed
+load (the paper's "heavy traffic" framing demands the service itself stay
+responsive).
+
+Cancelled jobs are removed lazily (tombstoned) and deadline-expired jobs
+are reaped at pop time against the caller-supplied clock, which keeps
+every timing decision injectable and the concurrency tests sleep-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+
+from ..errors import QueueFullError
+from .job import Job, JobStatus
+
+__all__ = ["JobQueue", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for worker crashes.
+
+    Only *crash-shaped* failures (a worker process dying, the pool
+    breaking) are retried; ordinary exceptions from the engine are
+    deterministic and propagate immediately.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+class JobQueue:
+    """Bounded priority/FIFO queue of :class:`Job` records."""
+
+    def __init__(self, limit: int = 256, on_timeout=None) -> None:
+        self.limit = max(int(limit), 1)
+        self._heap: list[tuple[int, int, Job]] = []
+        self._live = 0
+        self._lock = threading.Lock()
+        #: called with each job whose queue deadline expired (stats hook)
+        self._on_timeout = on_timeout
+
+    def push(self, job: Job) -> None:
+        with self._lock:
+            if self._live >= self.limit:
+                # the fast counter includes cancelled tombstones; recount
+                # before rejecting so cancellations free queue space
+                self._live = sum(
+                    1 for _, _, j in self._heap
+                    if j.handle.status is JobStatus.PENDING
+                )
+            if self._live >= self.limit:
+                raise QueueFullError(
+                    f"service queue is full ({self.limit} jobs pending); "
+                    f"retry later or raise queue_limit"
+                )
+            heapq.heappush(self._heap, (*job.sort_key(), job))
+            self._live += 1
+
+    def pop(self, now: float) -> Job | None:
+        """Next runnable job, or None.
+
+        Skips cancelled tombstones and moves queued jobs whose deadline
+        has passed (``job.deadline < now``) to ``TIMEOUT`` — expiry is
+        assessed lazily, at dispatch time, against the injected clock.
+        """
+        while True:
+            with self._lock:
+                if not self._heap:
+                    return None
+                _, _, job = heapq.heappop(self._heap)
+                self._live -= 1
+            if job.handle.status is not JobStatus.PENDING:
+                continue  # cancelled (or otherwise finished) while queued
+            if job.deadline is not None and now > job.deadline:
+                if job.handle._finish(JobStatus.TIMEOUT) and \
+                        self._on_timeout is not None:
+                    self._on_timeout(job)
+                continue
+            return job
+
+    def depth(self) -> int:
+        """Live (non-tombstoned) queued jobs."""
+        with self._lock:
+            live = sum(
+                1 for _, _, job in self._heap
+                if job.handle.status is JobStatus.PENDING
+            )
+            self._live = live
+            return live
+
+    def __len__(self) -> int:
+        return self.depth()

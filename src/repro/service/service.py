@@ -1,0 +1,534 @@
+"""The :class:`QueryService`: async GPM queries over a worker pool.
+
+This is the process-level analogue of the X-SET scheduler: independent
+jobs (``graph_id × pattern × config``) flow through a bounded priority
+queue into a pool of workers, with no barrier between jobs — exactly the
+barrier-free philosophy of the hardware, lifted to Python processes.
+
+Execution modes
+---------------
+``process``
+    ``ProcessPoolExecutor`` — true parallelism for CPU-bound engine runs.
+    Graphs ship to workers as the registry's pre-pickled payload and are
+    deserialised once per worker process (see :mod:`repro.service.worker`).
+``thread``
+    ``ThreadPoolExecutor`` — shares graphs by reference.  NumPy kernels
+    release the GIL only partially, so this mostly provides overlap, not
+    speedup; it is the fallback where fork/spawn is unavailable.
+``inline``
+    Synchronous execution inside ``submit`` — deterministic, used by tests
+    and as the zero-overhead mode for single queries.
+
+Semantics
+---------
+* **Backpressure**: a full queue raises ``QueueFullError`` — submits never
+  block.
+* **Deadlines**: ``timeout=`` sets a deadline on the service clock; it is
+  enforced while the job is *queued* (expired jobs never dispatch).  A job
+  already on a worker runs to completion — results arriving after the
+  deadline are still delivered.
+* **Retries**: crash-shaped failures (a dying worker / broken pool) are
+  retried with exponential backoff up to ``RetryPolicy.max_retries``;
+  deterministic engine exceptions propagate immediately.
+* **Caching**: results are cached by ``(graph fingerprint, canonical
+  pattern, config)`` with LRU eviction; graph updates invalidate — or,
+  through :meth:`QueryService.dynamic_session`, delta-patch — entries.
+
+The clock and sleep functions are injectable so every timing-dependent
+code path is testable without real sleeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..core.config import SystemConfig, xset_default
+from ..core.incremental import IncrementalGPM
+from ..errors import QueueFullError, ServiceError, WorkerCrashError
+from ..patterns.plan import build_plan
+from .cache import CacheKey, ResultCache, pattern_cache_key
+from .job import Job, JobHandle, JobStatus
+from .registry import GraphRegistry
+from .scheduler import JobQueue, RetryPolicy
+from .stats import LatencyRecorder, ServiceStats
+from .worker import run_job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.csr import CSRGraph
+    from ..patterns.pattern import Pattern
+    from ..sim.report import SimReport
+
+__all__ = ["QueryService", "InlineExecutor", "MODES"]
+
+#: accepted values for ``QueryService(mode=...)``
+MODES = ("process", "thread", "inline")
+
+#: exception types treated as "the worker died" → retried with backoff
+_CRASH_TYPES = (BrokenExecutor, WorkerCrashError)
+
+
+class InlineExecutor:
+    """Executor running submissions synchronously (tests, single queries)."""
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirrored to the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        pass
+
+
+class QueryService:
+    """Async GPM query service: registry + scheduler + pool + cache."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        mode: str = "process",
+        max_workers: int | None = None,
+        queue_limit: int = 256,
+        cache_capacity: int = 512,
+        retry: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        executor=None,
+        start_paused: bool = False,
+    ) -> None:
+        if mode not in MODES:
+            raise ServiceError(
+                f"unknown service mode {mode!r}; available: "
+                f"{', '.join(MODES)}"
+            )
+        self.mode = mode
+        self.config = config or xset_default()
+        if max_workers is None:
+            max_workers = 1 if mode == "inline" else (os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.retry = retry or RetryPolicy()
+        self._clock = clock
+        self._sleep = sleep
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._registry = GraphRegistry()
+        self._cache = ResultCache(cache_capacity)
+        self._queue = JobQueue(queue_limit, on_timeout=self._note_timeout)
+        self._latency = LatencyRecorder()
+        self._seq = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._cond = threading.Condition()
+        self._dispatcher: threading.Thread | None = None
+        self._paused = start_paused
+        self._shutdown = False
+        self._in_flight = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._timed_out = 0
+        self._retries = 0
+
+    # -- graph registry ----------------------------------------------------
+
+    def register_graph(
+        self, graph: "CSRGraph", graph_id: str | None = None
+    ) -> str:
+        """Register ``graph`` once; jobs then reference it by the id."""
+        return self._registry.register(graph, graph_id)
+
+    def update_graph(self, graph_id: str, graph: "CSRGraph") -> int:
+        """Swap in a new snapshot for ``graph_id``.
+
+        Cached results of the previous snapshot are invalidated; returns
+        how many entries were dropped.  Jobs already queued keep running
+        against the snapshot captured at submit time.
+        """
+        old_fp, _ = self._registry.update(graph_id, graph)
+        return len(self._cache.invalidate_fingerprint(old_fp))
+
+    def invalidate_graph(self, graph_id: str) -> int:
+        """Explicitly drop cached results for ``graph_id``'s snapshot."""
+        record = self._registry.get(graph_id)
+        return len(self._cache.invalidate_fingerprint(record.fingerprint))
+
+    def graphs(self) -> tuple[str, ...]:
+        return self._registry.ids()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        graph_id: str,
+        pattern: "Pattern",
+        *,
+        induced: bool | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+        engine: str | None = None,
+        config: SystemConfig | None = None,
+        use_cache: bool = True,
+    ) -> JobHandle:
+        """Enqueue one query; returns immediately with a :class:`JobHandle`.
+
+        ``priority``: lower runs first (FIFO within a class).  ``timeout``
+        is a queue deadline in seconds on the service clock.  ``engine`` /
+        ``config`` override the service defaults for this job only.
+        Raises :class:`~repro.errors.QueueFullError` under backpressure.
+        """
+        if self._shutdown:
+            raise ServiceError("service has been shut down")
+        record = self._registry.get(graph_id)
+        cfg = config or self.config
+        if engine is not None and engine != cfg.engine:
+            cfg = cfg.with_overrides(engine=engine)
+        plan = build_plan(pattern, induced=induced)
+        key = CacheKey(
+            fingerprint=record.fingerprint,
+            pattern_key=pattern_cache_key(pattern, induced),
+            config_key=cfg.cache_key(),
+        )
+        handle = JobHandle(
+            job_id=next(self._job_ids),
+            graph_id=graph_id,
+            pattern_name=pattern.name,
+            engine=cfg.engine,
+            cancel_cb=self._cancel,
+        )
+        if use_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                handle.from_cache = True
+                handle._finish(JobStatus.DONE, report=cached)
+                with self._cond:
+                    self._submitted += 1
+                    self._completed += 1
+                return handle
+        job = Job(
+            handle=handle,
+            graph_id=graph_id,
+            fingerprint=record.fingerprint,
+            plan=plan,
+            config=cfg,
+            cache_key=key,
+            priority=priority,
+            seq=next(self._seq),
+            deadline=(
+                None if timeout is None else self._clock() + timeout
+            ),
+            record=record,  # snapshot pinned at submit time
+        )
+        self._queue.push(job)  # raises QueueFullError under backpressure
+        with self._cond:
+            self._submitted += 1
+            self._cond.notify_all()
+        if self.mode == "inline":
+            self._drain_inline()
+        else:
+            self._ensure_dispatcher()
+        return handle
+
+    def count(
+        self, graph_id: str, pattern: "Pattern", **submit_kwargs
+    ) -> "SimReport":
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(graph_id, pattern, **submit_kwargs).result()
+
+    def count_many(
+        self,
+        graph_id: str,
+        patterns: Sequence["Pattern"],
+        **submit_kwargs,
+    ) -> dict[str, "SimReport"]:
+        """Batch entry point: submit every pattern, gather all reports."""
+        handles = [
+            self.submit(graph_id, p, **submit_kwargs) for p in patterns
+        ]
+        return {
+            p.name: h.result() for p, h in zip(patterns, handles)
+        }
+
+    # -- dynamic graphs ----------------------------------------------------
+
+    def dynamic_session(
+        self,
+        graph_id: str,
+        pattern: "Pattern",
+        induced: bool | None = None,
+        delta_patch: bool = True,
+    ) -> IncrementalGPM:
+        """An :class:`IncrementalGPM` wired to this service's cache.
+
+        Every ``insert_edge``/``remove_edge`` re-registers the updated
+        snapshot under ``graph_id`` and invalidates cached results of the
+        old snapshot.  With ``delta_patch=True``, entries for *this*
+        pattern are immediately re-cached for the new fingerprint with the
+        incrementally maintained exact count (their timing fields are
+        carried over from the stale run and should be treated as
+        approximate).
+        """
+        record = self._registry.get(graph_id)
+        pkey = pattern_cache_key(pattern, induced)
+
+        def on_update(gpm: IncrementalGPM, u, v, inserted, delta) -> None:
+            old_fp, new_fp = self._registry.update(graph_id, gpm.snapshot())
+            dropped = self._cache.invalidate_fingerprint(old_fp)
+            if not delta_patch:
+                return
+            for key, report in dropped:
+                if key.pattern_key == pkey:
+                    patched = replace(report, embeddings=gpm.count)
+                    self._cache.put(key.with_fingerprint(new_fp), patched)
+
+        return IncrementalGPM(
+            record.graph, pattern, induced=induced, on_update=on_update
+        )
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _note_timeout(self, job: Job) -> None:
+        with self._cond:
+            self._timed_out += 1
+
+    def _cancel(self, handle: JobHandle) -> bool:
+        if handle.status is not JobStatus.PENDING:
+            return False
+        if handle._finish(JobStatus.CANCELLED):
+            with self._cond:
+                self._cancelled += 1
+            return True
+        return False
+
+    def pause(self) -> None:
+        """Stop dispatching; queued jobs accumulate (tests, maintenance)."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+        if self.mode == "inline":
+            self._drain_inline()
+
+    def _make_executor(self):
+        if self.mode == "process":
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        if self.mode == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-service",
+            )
+        return InlineExecutor()
+
+    def _get_executor(self):
+        with self._cond:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
+
+    def _rebuild_executor_if_broken(self) -> None:
+        """Replace a broken process pool so retries land on live workers."""
+        if not self._owns_executor:
+            return
+        with self._cond:
+            executor = self._executor
+            if executor is None or not getattr(executor, "_broken", False):
+                return
+            self._executor = None
+        executor.shutdown(wait=False)
+
+    def _ensure_dispatcher(self) -> None:
+        with self._cond:
+            if self._dispatcher is not None or self._shutdown:
+                return
+            self._dispatcher = threading.Thread(
+                target=self._dispatcher_loop,
+                name="repro-service-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def _dispatcher_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._shutdown and (
+                    self._paused or self._in_flight >= self.max_workers
+                ):
+                    self._cond.wait(0.05)
+                if self._shutdown:
+                    return
+            job = self._queue.pop(self._clock())
+            if job is None:
+                with self._cond:
+                    if not self._shutdown:
+                        self._cond.wait(0.05)
+                    elif self._in_flight == 0:
+                        return
+                continue
+            self._dispatch(job)
+
+    def _drain_inline(self) -> None:
+        while True:
+            with self._cond:
+                if self._paused or self._shutdown:
+                    return
+            job = self._queue.pop(self._clock())
+            if job is None:
+                return
+            self._dispatch(job)
+
+    def _dispatch(self, job: Job) -> None:
+        if job.handle.status is not JobStatus.PENDING:
+            return
+        job.attempts += 1
+        job.handle.attempts = job.attempts
+        job.handle._set_running()
+        job.dispatched_at = time.perf_counter()
+        payload = (
+            job.record.payload if self.mode == "process" else job.record.graph
+        )
+        with self._cond:
+            self._in_flight += 1
+        try:
+            future = self._get_executor().submit(
+                run_job,
+                job.graph_id,
+                job.fingerprint,
+                payload,
+                job.plan,
+                job.config,
+            )
+        except BaseException as exc:  # pool already broken at submit time
+            future = Future()
+            future.set_exception(exc)
+        future.add_done_callback(lambda f: self._on_done(job, f))
+
+    def _on_done(self, job: Job, future: Future) -> None:
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+        exc = None if future.cancelled() else future.exception()
+        if exc is None and not future.cancelled():
+            report = future.result()
+            self._cache.put(job.cache_key, report)
+            if job.handle._finish(JobStatus.DONE, report=report):
+                self._latency.record(
+                    job.config.engine,
+                    time.perf_counter() - job.dispatched_at,
+                )
+                with self._cond:
+                    self._completed += 1
+            return
+        if isinstance(exc, _CRASH_TYPES) and job.attempts <= \
+                self.retry.max_retries:
+            with self._cond:
+                self._retries += 1
+            self._sleep(self.retry.backoff_for(job.attempts))
+            self._rebuild_executor_if_broken()
+            job.handle._requeue()
+            try:
+                self._queue.push(job)
+            except QueueFullError as full:
+                if job.handle._finish(JobStatus.FAILED, error=full):
+                    with self._cond:
+                        self._failed += 1
+                return
+            with self._cond:
+                self._cond.notify_all()
+            return
+        if isinstance(exc, _CRASH_TYPES):
+            exc = WorkerCrashError(
+                f"job {job.handle.job_id} crashed {job.attempts} time(s); "
+                f"retries exhausted ({self.retry.max_retries}): {exc}"
+            )
+        if exc is not None and job.handle._finish(
+            JobStatus.FAILED, error=exc
+        ):
+            with self._cond:
+                self._failed += 1
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Point-in-time snapshot of queue, pool, cache and latencies."""
+        with self._cond:
+            in_flight = self._in_flight
+            submitted = self._submitted
+            completed = self._completed
+            failed = self._failed
+            cancelled = self._cancelled
+            timed_out = self._timed_out
+            retries = self._retries
+        return ServiceStats(
+            mode=self.mode,
+            workers=self.max_workers,
+            graphs=len(self._registry),
+            queue_depth=self._queue.depth(),
+            in_flight=in_flight,
+            submitted=submitted,
+            completed=completed,
+            failed=failed,
+            cancelled=cancelled,
+            timed_out=timed_out,
+            retries=retries,
+            cache_size=len(self._cache),
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_evictions=self._cache.evictions,
+            cache_invalidations=self._cache.invalidations,
+            cache_hit_rate=self._cache.hit_rate,
+            latency=self._latency.summary(),
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the service: cancel queued jobs, drain or drop in-flight."""
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._cond.notify_all()
+            dispatcher = self._dispatcher
+        while True:  # queued-but-never-run jobs must not hang their waiters
+            job = self._queue.pop(self._clock())
+            if job is None:
+                break
+            if job.handle._finish(JobStatus.CANCELLED):
+                with self._cond:
+                    self._cancelled += 1
+        if dispatcher is not None:
+            dispatcher.join(timeout=5.0)
+        with self._cond:
+            executor = self._executor
+            self._executor = None
+        if executor is not None and self._owns_executor:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService(mode={self.mode!r}, workers={self.max_workers}, "
+            f"graphs={len(self._registry)})"
+        )

@@ -1,0 +1,110 @@
+"""Introspection surface: counters, latency percentiles, stats snapshot.
+
+``QueryService.stats()`` returns one immutable :class:`ServiceStats`
+snapshot.  Latencies are recorded per engine over a bounded window so a
+long-lived service reports *recent* behaviour, not its lifetime average.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyRecorder", "ServiceStats"]
+
+#: latency samples kept per engine (ring buffer)
+LATENCY_WINDOW = 1024
+
+#: percentiles reported by ``stats()``
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty window)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(pct / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class LatencyRecorder:
+    """Windowed per-engine latency samples with percentile summaries."""
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._window = window
+        self._samples: dict[str, deque[float]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, engine: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(engine)
+            if bucket is None:
+                bucket = self._samples[engine] = deque(maxlen=self._window)
+            bucket.append(seconds)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{engine: {"p50": ..., "p90": ..., "p99": ..., "count": n}}``."""
+        with self._lock:
+            snapshot = {k: list(v) for k, v in self._samples.items()}
+        return {
+            engine: {
+                **{f"p{p}": percentile(vals, p) for p in PERCENTILES},
+                "count": float(len(vals)),
+            }
+            for engine, vals in snapshot.items()
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One point-in-time view of the service (all fields are snapshots)."""
+
+    mode: str
+    workers: int
+    graphs: int
+    queue_depth: int
+    in_flight: int
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    timed_out: int
+    retries: int
+    cache_size: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_invalidations: int
+    cache_hit_rate: float
+    #: per-engine latency percentiles over the recent window
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable multi-line rendering (used by the CLI)."""
+        lines = [
+            f"mode={self.mode} workers={self.workers} graphs={self.graphs}",
+            f"queue depth {self.queue_depth}, in flight {self.in_flight}",
+            (
+                f"jobs: {self.submitted} submitted, {self.completed} done, "
+                f"{self.failed} failed, {self.cancelled} cancelled, "
+                f"{self.timed_out} timed out, {self.retries} retries"
+            ),
+            (
+                f"cache: {self.cache_size} entries, {self.cache_hits} hits / "
+                f"{self.cache_misses} misses "
+                f"(hit rate {self.cache_hit_rate:.1%}), "
+                f"{self.cache_evictions} evicted, "
+                f"{self.cache_invalidations} invalidated"
+            ),
+        ]
+        for engine, pcts in sorted(self.latency.items()):
+            lines.append(
+                f"latency[{engine}]: "
+                f"p50 {pcts['p50'] * 1e3:.2f}ms  "
+                f"p90 {pcts['p90'] * 1e3:.2f}ms  "
+                f"p99 {pcts['p99'] * 1e3:.2f}ms  "
+                f"(n={pcts['count']:.0f})"
+            )
+        return "\n".join(lines)

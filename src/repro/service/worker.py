@@ -1,0 +1,73 @@
+"""Pool-worker side of the service: run one job, cache graphs per process.
+
+``run_job`` is the only function the service ever submits to an executor.
+It must stay a module-level callable (process pools pickle it by reference)
+and its arguments must be cheap to serialise: the graph travels either as
+the registry's pre-pickled payload bytes (process mode — pickled once per
+registration, deserialised once per worker process and fingerprint) or as
+the live :class:`CSRGraph` object (thread/inline modes — zero copies).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import TYPE_CHECKING
+
+from ..graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import SystemConfig
+    from ..patterns.plan import MatchingPlan
+    from ..sim.report import SimReport
+
+__all__ = ["run_job", "worker_graph_cache_info"]
+
+#: per-process deserialised graphs, keyed by (graph_id, fingerprint).  One
+#: entry per id: an updated snapshot (new fingerprint) replaces the old.
+_GRAPH_CACHE: dict[str, tuple[str, CSRGraph]] = {}
+
+#: deserialisations performed by this process (observability for tests)
+_CACHE_FILLS = 0
+
+
+def _resolve_graph(
+    graph_id: str, fingerprint: str, payload: "bytes | CSRGraph"
+) -> CSRGraph:
+    global _CACHE_FILLS
+    if isinstance(payload, CSRGraph):
+        return payload
+    cached = _GRAPH_CACHE.get(graph_id)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    graph = pickle.loads(payload)
+    _GRAPH_CACHE[graph_id] = (fingerprint, graph)
+    _CACHE_FILLS += 1
+    return graph
+
+
+def run_job(
+    graph_id: str,
+    fingerprint: str,
+    payload: "bytes | CSRGraph",
+    plan: "MatchingPlan",
+    config: "SystemConfig",
+) -> "SimReport":
+    """Execute one query on the configured engine; returns the report."""
+    from ..sim.host import run_on_soc
+
+    graph = _resolve_graph(graph_id, fingerprint, payload)
+    t0 = time.perf_counter()
+    report = run_on_soc(graph, plan, config)
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+def worker_graph_cache_info() -> dict:
+    """Snapshot of this process's graph cache (used by tests/debugging)."""
+    return {
+        "pid": os.getpid(),
+        "graphs": sorted(_GRAPH_CACHE),
+        "fills": _CACHE_FILLS,
+    }

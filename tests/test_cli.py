@@ -73,3 +73,41 @@ class TestCommands:
         assert main(["results"]) == 0
         out = capsys.readouterr().out
         assert "===" in out or "no results found" in out
+
+
+class TestEnginesCommand:
+    def test_lists_all_backends(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "event" in out and "batched" in out
+        assert "*" in out  # the default engine is marked
+
+    def test_descriptions_present(self, capsys):
+        main(["engines"])
+        out = capsys.readouterr().out
+        assert "event-driven" in out
+        assert "frontier expansion" in out
+
+
+class TestServeCommand:
+    def test_inline_round_trip(self, capsys):
+        rc = main(
+            ["serve", "--mode", "inline", "--nodes", "24", "--degree", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "embeddings" in out
+        assert "[cache]" in out       # the second wave hits the cache
+        assert "hit rate" in out      # stats summary printed
+
+    def test_thread_mode(self, capsys):
+        rc = main(
+            ["serve", "--mode", "thread", "--workers", "2",
+             "--nodes", "20", "--degree", "4"]
+        )
+        assert rc == 0
+        assert "mode=thread" in capsys.readouterr().out
+
+    def test_engine_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "warp"])

@@ -142,3 +142,48 @@ class TestRootPartitioning:
             for pe in sim._pes
         ]
         assert max(loads) <= 1.5 * (sum(loads) / len(loads)) + 100
+
+
+class TestEngineValidation:
+    """`SystemConfig.engine` is validated eagerly, not deep inside a run."""
+
+    def test_constructor_rejects_unknown_engine(self):
+        from repro.core import SystemConfig
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError) as err:
+            SystemConfig(engine="nope")
+        # the error names every registered backend
+        from repro.engine import available_engines
+
+        for name in available_engines():
+            assert name in str(err.value)
+
+    def test_with_overrides_rejects_unknown_engine(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown execution engine"):
+            xset_default().with_overrides(engine="nope")
+
+    def test_valid_engines_accepted(self):
+        from repro.engine import available_engines
+
+        for name in available_engines():
+            assert xset_default().with_overrides(engine=name).engine == name
+
+
+class TestCacheKey:
+    def test_hashable_and_stable(self):
+        key = xset_default().cache_key()
+        assert hash(key) == hash(xset_default().cache_key())
+
+    def test_any_knob_changes_key(self):
+        base = xset_default()
+        for override in (
+            {"engine": "batched"},
+            {"num_pes": 8},
+            {"scheduler_params": {"window": 4}},
+            {"shared_mb": 2.0},
+        ):
+            assert base.with_overrides(**override).cache_key() != \
+                base.cache_key(), override

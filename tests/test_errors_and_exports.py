@@ -15,6 +15,11 @@ class TestErrorHierarchy:
             "SimulationError",
             "SchedulerError",
             "MemoryModelError",
+            "ServiceError",
+            "QueueFullError",
+            "JobTimeoutError",
+            "JobCancelledError",
+            "WorkerCrashError",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.XSetError)
@@ -25,6 +30,11 @@ class TestErrorHierarchy:
     def test_scheduler_and_memory_are_simulation_errors(self):
         assert issubclass(errors.SchedulerError, errors.SimulationError)
         assert issubclass(errors.MemoryModelError, errors.SimulationError)
+
+    def test_service_errors_are_service_errors(self):
+        for name in ("QueueFullError", "JobTimeoutError",
+                     "JobCancelledError", "WorkerCrashError"):
+            assert issubclass(getattr(errors, name), errors.ServiceError)
 
     def test_one_except_clause_catches_everything(self):
         with pytest.raises(errors.XSetError):
@@ -42,6 +52,7 @@ class TestPackageSurface:
         import repro.memory
         import repro.patterns
         import repro.sched
+        import repro.service
         import repro.setops
         import repro.sim
         import repro.siu  # noqa: F401
@@ -56,6 +67,7 @@ class TestPackageSurface:
         import repro.memory
         import repro.patterns
         import repro.sched
+        import repro.service
         import repro.setops
         import repro.sim
         import repro.siu
@@ -63,7 +75,7 @@ class TestPackageSurface:
         for module in (
             repro.analysis, repro.baselines, repro.core, repro.graph,
             repro.hw, repro.memory, repro.patterns, repro.sched,
-            repro.setops, repro.sim, repro.siu,
+            repro.service, repro.setops, repro.sim, repro.siu,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
@@ -71,7 +83,7 @@ class TestPackageSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_public_docstrings(self):
         """Every public class/function in the core API carries a docstring."""
