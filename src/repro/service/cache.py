@@ -22,6 +22,8 @@ from functools import lru_cache
 from itertools import permutations
 from typing import TYPE_CHECKING, NamedTuple
 
+from ..patterns.plan import DEFAULT_INDUCED
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..patterns.pattern import Pattern
     from ..sim.report import SimReport
@@ -71,7 +73,16 @@ def _canonical_form(
 
 
 def pattern_cache_key(pattern: "Pattern", induced: bool | None) -> tuple:
-    """Canonical, name-independent cache key for one query pattern."""
+    """Canonical, name-independent cache key for one query pattern.
+
+    ``induced=None`` is resolved to the per-pattern default *before*
+    keying, exactly as :func:`~repro.patterns.plan.build_plan` resolves
+    it — the key must reflect the plan that actually runs, or a
+    ``submit(..., induced=None)`` on a :data:`DEFAULT_INDUCED` pattern
+    would share an entry with ``induced=False`` and return wrong counts.
+    """
+    if induced is None:
+        induced = pattern.name in DEFAULT_INDUCED
     return _canonical_form(
         pattern.num_vertices, tuple(pattern.edge_list), pattern.labels
     ) + (bool(induced),)

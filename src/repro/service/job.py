@@ -84,6 +84,23 @@ class JobHandle:
         self._done.set()
         return True
 
+    def _finish_if(self, expected: JobStatus, status: JobStatus,
+                   error: BaseException | None = None) -> bool:
+        """Atomic ``expected`` → terminal ``status`` transition.
+
+        Unlike :meth:`_finish`, refuses unless the handle is *exactly* in
+        ``expected`` — the check and the transition happen under one lock
+        acquisition, so a job racing from PENDING to RUNNING cannot be
+        cancelled out from under a live worker.
+        """
+        with self._lock:
+            if self._status is not expected:
+                return False
+            self._status = status
+            self._error = error
+        self._done.set()
+        return True
+
     # -- user API ----------------------------------------------------------
 
     @property
@@ -149,6 +166,8 @@ class Job:
     seq: int = 0
     #: absolute deadline on the service clock, or None
     deadline: float | None = None
+    #: earliest dispatch time on the service clock (crash-retry backoff)
+    not_before: float | None = None
     attempts: int = 0
     #: wall-clock dispatch timestamp of the current attempt
     dispatched_at: float = field(default=0.0)

@@ -73,10 +73,14 @@ class GraphRegistry:
     def get(self, graph_id: str) -> GraphRecord:
         with self._lock:
             record = self._records.get(graph_id)
+            # snapshot the keys for the error while still holding the
+            # lock — iterating the live dict outside it can race a
+            # register/unregister and raise RuntimeError instead
+            known = None if record is not None else sorted(self._records)
         if record is None:
-            known = ", ".join(sorted(self._records)) or "<none>"
             raise ServiceError(
-                f"unknown graph id {graph_id!r}; registered: {known}"
+                f"unknown graph id {graph_id!r}; registered: "
+                f"{', '.join(known) or '<none>'}"
             )
         return record
 

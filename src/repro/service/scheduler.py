@@ -8,9 +8,11 @@ queue raises :class:`~repro.errors.QueueFullError` so callers can shed
 load (the paper's "heavy traffic" framing demands the service itself stay
 responsive).
 
-Cancelled jobs are removed lazily (tombstoned) and deadline-expired jobs
-are reaped at pop time against the caller-supplied clock, which keeps
-every timing decision injectable and the concurrency tests sleep-free.
+Cancelled jobs are removed lazily (tombstoned), deadline-expired jobs are
+reaped at pop time, and crash-retried jobs waiting out their backoff
+(``Job.not_before``) are deferred in place — all against the
+caller-supplied clock, which keeps every timing decision injectable and
+the concurrency tests sleep-free.
 """
 
 from __future__ import annotations
@@ -74,24 +76,51 @@ class JobQueue:
     def pop(self, now: float) -> Job | None:
         """Next runnable job, or None.
 
-        Skips cancelled tombstones and moves queued jobs whose deadline
-        has passed (``job.deadline < now``) to ``TIMEOUT`` — expiry is
-        assessed lazily, at dispatch time, against the injected clock.
+        Skips cancelled tombstones, moves queued jobs whose deadline has
+        passed (``job.deadline < now``) to ``TIMEOUT``, and leaves jobs
+        whose retry backoff (``job.not_before``) has not yet elapsed in
+        the queue — everything is assessed lazily, at dispatch time,
+        against the injected clock.
         """
-        while True:
-            with self._lock:
-                if not self._heap:
-                    return None
-                _, _, job = heapq.heappop(self._heap)
-                self._live -= 1
-            if job.handle.status is not JobStatus.PENDING:
-                continue  # cancelled (or otherwise finished) while queued
-            if job.deadline is not None and now > job.deadline:
-                if job.handle._finish(JobStatus.TIMEOUT) and \
-                        self._on_timeout is not None:
-                    self._on_timeout(job)
-                continue
-            return job
+        deferred: list[Job] = []
+        try:
+            while True:
+                with self._lock:
+                    if not self._heap:
+                        return None
+                    _, _, job = heapq.heappop(self._heap)
+                    self._live -= 1
+                if job.handle.status is not JobStatus.PENDING:
+                    continue  # cancelled (or otherwise finished) while queued
+                if job.deadline is not None and now > job.deadline:
+                    if job.handle._finish(JobStatus.TIMEOUT) and \
+                            self._on_timeout is not None:
+                        self._on_timeout(job)
+                    continue
+                if job.not_before is not None and now < job.not_before:
+                    deferred.append(job)  # backoff pending; stays queued
+                    continue
+                return job
+        finally:
+            if deferred:
+                with self._lock:
+                    for job in deferred:
+                        heapq.heappush(self._heap, (*job.sort_key(), job))
+                        self._live += 1
+
+    def drain(self) -> list[Job]:
+        """Remove and return every still-pending job, backoff or not.
+
+        Shutdown path: unlike :meth:`pop` this never defers, so waiters
+        of a job parked on its retry backoff are released too.
+        """
+        with self._lock:
+            heap, self._heap = self._heap, []
+            self._live = 0
+        return [
+            job for _, _, job in heap
+            if job.handle.status is JobStatus.PENDING
+        ]
 
     def depth(self) -> int:
         """Live (non-tombstoned) queued jobs."""

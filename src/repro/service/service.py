@@ -308,9 +308,10 @@ class QueryService:
             self._timed_out += 1
 
     def _cancel(self, handle: JobHandle) -> bool:
-        if handle.status is not JobStatus.PENDING:
-            return False
-        if handle._finish(JobStatus.CANCELLED):
+        # compare-and-set: a job racing from PENDING to RUNNING between a
+        # status check and the transition must NOT be marked cancelled
+        # while its worker keeps executing
+        if handle._finish_if(JobStatus.PENDING, JobStatus.CANCELLED):
             with self._cond:
                 self._cancelled += 1
             return True
@@ -425,8 +426,15 @@ class QueryService:
         with self._cond:
             self._in_flight -= 1
             self._cond.notify_all()
-        exc = None if future.cancelled() else future.exception()
-        if exc is None and not future.cancelled():
+        if future.cancelled():
+            # the executor dropped the job (e.g. cancel_futures on
+            # shutdown); release waiters instead of hanging them forever
+            if job.handle._finish(JobStatus.CANCELLED):
+                with self._cond:
+                    self._cancelled += 1
+            return
+        exc = future.exception()
+        if exc is None:
             report = future.result()
             self._cache.put(job.cache_key, report)
             if job.handle._finish(JobStatus.DONE, report=report):
@@ -441,7 +449,16 @@ class QueryService:
                 self.retry.max_retries:
             with self._cond:
                 self._retries += 1
-            self._sleep(self.retry.backoff_for(job.attempts))
+            delay = self.retry.backoff_for(job.attempts)
+            if self.mode == "inline":
+                # synchronous mode: this callback runs on the submitting
+                # thread, so sleeping delays no other completion
+                self._sleep(delay)
+            else:
+                # pool modes run this callback on the executor's completion
+                # thread — sleeping there would serialise every in-flight
+                # completion behind the backoff, so defer via the queue
+                job.not_before = self._clock() + delay
             self._rebuild_executor_if_broken()
             job.handle._requeue()
             try:
@@ -506,10 +523,9 @@ class QueryService:
             self._shutdown = True
             self._cond.notify_all()
             dispatcher = self._dispatcher
-        while True:  # queued-but-never-run jobs must not hang their waiters
-            job = self._queue.pop(self._clock())
-            if job is None:
-                break
+        # queued-but-never-run jobs (including any parked on a retry
+        # backoff, which pop() would defer) must not hang their waiters
+        for job in self._queue.drain():
             if job.handle._finish(JobStatus.CANCELLED):
                 with self._cond:
                     self._cancelled += 1

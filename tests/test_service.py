@@ -116,6 +116,34 @@ class TestResultCache:
             handle = svc.submit(gid, other, engine="batched")
             assert handle.result() and handle.from_cache
 
+    def test_induced_default_resolves_before_keying(self, service_graphs):
+        # WEDGE is in DEFAULT_INDUCED: induced=None runs an *induced* plan,
+        # so it must share a key with induced=True, never induced=False
+        wedge = PATTERNS["WEDGE"]
+        assert pattern_cache_key(wedge, None) == \
+            pattern_cache_key(wedge, True)
+        assert pattern_cache_key(wedge, None) != \
+            pattern_cache_key(wedge, False)
+        # an isomorphic pattern whose *name* is outside DEFAULT_INDUCED
+        # resolves None differently — the keys must diverge accordingly
+        other = Pattern.from_edges("my-wedge", [(0, 1), (0, 2)])
+        assert pattern_cache_key(other, None) != \
+            pattern_cache_key(wedge, None)
+        assert pattern_cache_key(other, True) == \
+            pattern_cache_key(wedge, None)
+        with QueryService(mode="inline") as svc:
+            gid = svc.register_graph(service_graphs[0])
+            default = svc.submit(gid, wedge, engine="batched")
+            r_default = default.result()
+            noninduced = svc.submit(
+                gid, wedge, engine="batched", induced=False
+            )
+            assert not noninduced.from_cache  # distinct plan, distinct entry
+            assert noninduced.result().embeddings != r_default.embeddings
+            explicit = svc.submit(gid, wedge, engine="batched", induced=True)
+            assert explicit.from_cache
+            assert explicit.result().embeddings == r_default.embeddings
+
     def test_engine_and_config_separate_entries(self, service_graphs):
         with QueryService(mode="inline") as svc:
             gid = svc.register_graph(service_graphs[0])

@@ -16,7 +16,7 @@ from a single thread here:
 
 from __future__ import annotations
 
-from concurrent.futures import BrokenExecutor
+from concurrent.futures import BrokenExecutor, Future
 
 import pytest
 
@@ -28,7 +28,14 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.patterns.pattern import PATTERNS
-from repro.service import InlineExecutor, JobStatus, QueryService
+from repro.service import (
+    InlineExecutor,
+    Job,
+    JobHandle,
+    JobQueue,
+    JobStatus,
+    QueryService,
+)
 
 
 class FakeClock:
@@ -107,6 +114,56 @@ class TestWorkerCrashRetry:
         stats = svc.stats()
         assert stats.failed == 1
         assert stats.retries == svc.retry.max_retries
+
+    def test_pool_mode_backoff_never_sleeps_in_callback(self, graph):
+        # pool modes run _on_done on the executor's completion thread;
+        # sleeping there would stall every other in-flight completion, so
+        # the backoff must be deferred through the queue instead
+        sleep = RecordingSleep()
+        executor = FlakyExecutor(failures=2)
+        svc, gid = make_service(
+            graph, mode="thread", executor=executor, sleep=sleep
+        )
+        handle = svc.submit(gid, PATTERNS["3CF"], engine="batched")
+        report = handle.result(timeout=60)
+        assert report.embeddings == \
+            XSetAccelerator(engine="batched").count(
+                graph, PATTERNS["3CF"]).embeddings
+        assert handle.attempts == 3
+        assert svc.stats().retries == 2
+        assert sleep.calls == []  # backoff waited out in the queue
+        svc.shutdown()
+
+    def test_queue_defers_job_until_not_before(self, graph):
+        handle = JobHandle(
+            job_id=1, graph_id="g", pattern_name="3CF",
+            engine="batched", cancel_cb=lambda h: False,
+        )
+        job = Job(
+            handle=handle, graph_id="g", fingerprint="fp", plan=None,
+            config=None, cache_key=None, not_before=5.0,
+        )
+        queue = JobQueue(limit=4)
+        queue.push(job)
+        assert queue.pop(0.0) is None  # backoff pending: deferred ...
+        assert queue.depth() == 1      # ... but still queued, not dropped
+        assert queue.pop(10.0) is job  # runnable once the backoff elapsed
+        assert queue.depth() == 0
+
+    def test_shutdown_releases_job_parked_on_backoff(self, graph):
+        handle = JobHandle(
+            job_id=1, graph_id="g", pattern_name="3CF",
+            engine="batched", cancel_cb=lambda h: False,
+        )
+        job = Job(
+            handle=handle, graph_id="g", fingerprint="fp", plan=None,
+            config=None, cache_key=None, not_before=1e9,
+        )
+        queue = JobQueue(limit=4)
+        queue.push(job)
+        drained = queue.drain()  # the shutdown path: ignores not_before
+        assert drained == [job]
+        assert queue.depth() == 0
 
     def test_deterministic_engine_error_not_retried(self, graph):
         calls = []
@@ -196,6 +253,35 @@ class TestCancellation:
         assert svc.stats().cancelled == 1
         svc.resume()  # must not dispatch the tombstoned job
         assert svc.stats().completed == 0
+        svc.shutdown()
+
+    def test_cancel_is_atomic_against_running_transition(self, graph):
+        # a job that reached RUNNING between cancel()'s check and its
+        # transition must NOT be marked cancelled under a live worker
+        svc, gid = make_service(graph, start_paused=True)
+        handle = svc.submit(gid, PATTERNS["3CF"])
+        handle._set_running()  # simulate the dispatcher winning the race
+        assert handle.cancel() is False
+        assert handle.status is JobStatus.RUNNING
+        assert svc.stats().cancelled == 0
+        handle._finish(JobStatus.FAILED, error=RuntimeError("unwind"))
+        svc.shutdown()
+
+    def test_executor_cancelled_future_releases_waiters(self, graph):
+        # a future the executor cancels must still finish the handle —
+        # otherwise result() blocks forever on a job that will never run
+        class CancellingExecutor(InlineExecutor):
+            def submit(self, fn, /, *args, **kwargs):
+                future = Future()
+                future.cancel()
+                return future
+
+        svc, gid = make_service(graph, executor=CancellingExecutor())
+        handle = svc.submit(gid, PATTERNS["3CF"], engine="batched")
+        assert handle.status is JobStatus.CANCELLED
+        with pytest.raises(JobCancelledError):
+            handle.result(timeout=5)
+        assert svc.stats().cancelled == 1
         svc.shutdown()
 
     def test_cancel_finished_job_is_noop(self, graph):
