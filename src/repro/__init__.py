@@ -68,6 +68,12 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "QueryService": "repro.service",
         "JobHandle": "repro.service",
         "JobStatus": "repro.service",
+        "observe": "repro.obs",
+        "ExecutionProfile": "repro.obs",
+        "MetricsRegistry": "repro.obs",
+        "Tracer": "repro.obs",
+        "write_chrome_trace": "repro.obs",
+        "configure_logging": "repro.obs",
     }
     if name in lazy:
         return getattr(import_module(lazy[name]), name)

@@ -10,8 +10,17 @@ results``.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-__all__ = ["RESULTS_ORDER", "collect_results", "experiment_summary"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import ExecutionProfile
+
+__all__ = [
+    "RESULTS_ORDER",
+    "collect_results",
+    "experiment_summary",
+    "render_profile",
+]
 
 #: canonical presentation order of the result files
 RESULTS_ORDER = (
@@ -33,7 +42,77 @@ RESULTS_ORDER = (
     "ext_taskset_capacity",
     "ext_root_partitioning",
     "ext_energy",
+    "obs_overhead",
 )
+
+
+def render_profile(profile: "ExecutionProfile") -> str:
+    """Human-readable rendering of one :class:`ExecutionProfile`.
+
+    Used by ``python -m repro stats``: a header line, the per-level
+    task/element/comparison table, stage wall times, memory-hierarchy hit
+    rates and per-span-name duration summaries (shared percentile math).
+    """
+    from .experiments import format_table
+
+    lines = [
+        (
+            f"{profile.pattern or '?'} on {profile.graph or '?'} "
+            f"[engine={profile.engine or '?'}]  "
+            f"wall {profile.wall_seconds * 1e3:.2f}ms"
+        ),
+    ]
+    if profile.levels:
+        rows = [
+            (
+                level,
+                profile.level_tasks.get(level, 0),
+                profile.level_elements.get(level, 0),
+                profile.level_comparisons.get(level, 0),
+            )
+            for level in profile.levels
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ("level", "tasks", "elements", "comparisons"),
+                rows,
+                title="per-level work",
+            )
+        )
+    if profile.stages:
+        lines.append("")
+        lines.append("stages:")
+        for name, seconds in sorted(profile.stages.items()):
+            lines.append(f"  {name:<16} {seconds * 1e3:.3f}ms")
+    if profile.cache:
+        lines.append("")
+        lines.append(
+            "cache: private {:.1%} hit, shared {:.1%} hit".format(
+                profile.cache_hit_rate("private"),
+                profile.cache_hit_rate("shared"),
+            )
+        )
+    span_stats = profile.span_summary()
+    if span_stats:
+        rows = [
+            (
+                name,
+                f"{stats['count']:.0f}",
+                f"{stats['p50'] * 1e3:.3f}",
+                f"{stats['p99'] * 1e3:.3f}",
+            )
+            for name, stats in span_stats.items()
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ("span", "count", "p50 ms", "p99 ms"),
+                rows,
+                title="span durations",
+            )
+        )
+    return "\n".join(lines)
 
 
 def default_results_dir() -> Path:

@@ -11,6 +11,12 @@ Gives the library a shell-level surface mirroring the paper artifact's
     python -m repro plan --pattern DIA
     python -m repro engines
     python -m repro serve --mode process --nodes 60
+    python -m repro stats --dataset WV --pattern 3CF
+    python -m repro trace --export out.json
+
+Pass ``-v``/``-vv`` (or set ``REPRO_LOG=INFO``/``DEBUG``) to surface the
+library's log output — worker retries, crashes and job timeouts are
+logged rather than printed.
 """
 
 from __future__ import annotations
@@ -179,10 +185,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_query(args: argparse.Namespace):
+    """Run one query through an inline traced service; returns the service.
+
+    Shared by ``stats`` and ``trace``: the caller reads the profile /
+    trace off the returned (still-open) service and must shut it down.
+    """
+    from .graph.datasets import load_dataset
+    from .patterns.pattern import PATTERNS
+    from .service import QueryService
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    service = QueryService(mode="inline", observability=True)
+    gid = service.register_graph(graph)
+    service.count(gid, PATTERNS[args.pattern.upper()], engine=args.engine)
+    return service
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis.reporting import render_profile
+
+    with _traced_query(args) as service:
+        profiles = service.profiles()
+        if profiles:
+            print(render_profile(profiles[-1]))
+            print()
+        print(service.stats().summary())
+        if args.prometheus:
+            print()
+            print(service.metrics_text())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    with _traced_query(args) as service:
+        events = service.export_trace()
+        spans = sum(1 for e in events if e.get("cat") == "span")
+        pe = sum(1 for e in events if e.get("cat") == "pe")
+        if args.export:
+            service.export_trace(args.export)
+            print(
+                f"wrote {args.export}: {spans} spans, {pe} PE activity "
+                f"events (open at https://ui.perfetto.dev)"
+            )
+        else:
+            import json
+
+            print(json.dumps({"traceEvents": events,
+                              "displayTimeUnit": "ms"}))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="X-SET graph pattern matching accelerator (reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log more (-v: INFO, -vv: DEBUG); see also REPRO_LOG",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -253,11 +314,41 @@ def build_parser() -> argparse.ArgumentParser:
                        default="batched")
     serve.set_defaults(func=_cmd_serve)
 
+    stats = sub.add_parser(
+        "stats",
+        help="run one traced query and print its execution profile",
+    )
+    stats.add_argument("--dataset", default="WV")
+    stats.add_argument("--pattern", default="3CF")
+    stats.add_argument("--scale", type=float, default=0.25)
+    stats.add_argument("--engine", choices=available_engines(),
+                       default="event")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="also dump the metrics registry in "
+                            "Prometheus text format")
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced query and export a Chrome/Perfetto trace",
+    )
+    trace.add_argument("--dataset", default="WV")
+    trace.add_argument("--pattern", default="3CF")
+    trace.add_argument("--scale", type=float, default=0.25)
+    trace.add_argument("--engine", choices=available_engines(),
+                       default="event")
+    trace.add_argument("--export", default="",
+                       help="write the trace JSON here (default: stdout)")
+    trace.set_defaults(func=_cmd_trace)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from .obs.logsetup import configure_logging
+
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs import context as _obs
 from ..siu.models import make_siu
 from .base import Engine, register_engine
 from .functional import FrontierExpander, FrontierLevel
@@ -65,6 +66,9 @@ class BatchedEngine(Engine):
         from ..sim.report import SimReport
 
         t_wall = _time.perf_counter()
+        # guarded hot-path hook: with no active observation this is one
+        # attribute load, and no span / accumulator code runs at all
+        ob = _obs.current()
         siu = make_siu(
             config.siu_kind, config.segment_width, config.bitmap_width
         )
@@ -75,22 +79,16 @@ class BatchedEngine(Engine):
             FrontierLevel(level=lv, tasks=0, embeddings=np.zeros((0, 0)))
             for lv in range(1, plan.stop_level + 1)
         ]
-        for start in range(0, all_roots.shape[0], self.root_chunk):
-            emb = all_roots[start : start + self.root_chunk]
-            for step_idx, level in enumerate(
-                range(1, plan.stop_level + 1)
+        if ob is None:
+            self._sweep(expander, all_roots, plan, merged, None)
+        else:
+            with ob.tracer.span(
+                "engine.batched",
+                graph=graph.name,
+                pattern=plan.pattern.name,
+                roots=int(all_roots.shape[0]),
             ):
-                step = expander.expand(level, emb)
-                agg = merged[step_idx]
-                agg.tasks += step.tasks
-                agg.count += step.count
-                agg.set_ops += step.set_ops
-                agg.comparisons += step.comparisons
-                agg.words_in += step.words_in
-                agg.words_out += step.words_out
-                emb = step.embeddings
-                if emb.shape[0] == 0:
-                    break
+                self._sweep(expander, all_roots, plan, merged, ob)
         report = SimReport(
             config_name=config.name,
             graph_name=graph.name,
@@ -101,3 +99,41 @@ class BatchedEngine(Engine):
         annotate_frontier_report(report, merged, graph, config, siu)
         report.wall_seconds = _time.perf_counter() - t_wall
         return report
+
+    def _sweep(
+        self,
+        expander: FrontierExpander,
+        all_roots: np.ndarray,
+        plan: "MatchingPlan",
+        merged: list[FrontierLevel],
+        ob,
+    ) -> None:
+        """Expand every root chunk level by level into ``merged``."""
+        for start in range(0, all_roots.shape[0], self.root_chunk):
+            emb = all_roots[start : start + self.root_chunk]
+            for step_idx, level in enumerate(
+                range(1, plan.stop_level + 1)
+            ):
+                if ob is None:
+                    step = expander.expand(level, emb)
+                else:
+                    with ob.tracer.span(
+                        f"engine.level{level}", level=level
+                    ):
+                        step = expander.expand(level, emb)
+                    ob.level_add(
+                        level,
+                        tasks=step.tasks,
+                        elements=step.words_in,
+                        comparisons=step.comparisons,
+                    )
+                agg = merged[step_idx]
+                agg.tasks += step.tasks
+                agg.count += step.count
+                agg.set_ops += step.set_ops
+                agg.comparisons += step.comparisons
+                agg.words_in += step.words_in
+                agg.words_out += step.words_out
+                emb = step.embeddings
+                if emb.shape[0] == 0:
+                    break

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs import context as _obs
 from .base import Engine, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,4 +42,7 @@ class EventEngine(Engine):
     ) -> "SimReport":
         from ..sim.host import HostModel
 
-        return HostModel(config).run(graph, plan)
+        with _obs.span(
+            "engine.event", graph=graph.name, pattern=plan.pattern.name
+        ):
+            return HostModel(config).run(graph, plan)

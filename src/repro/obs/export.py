@@ -1,0 +1,126 @@
+"""Chrome/Perfetto trace-event JSON export.
+
+One exported file unifies the two timelines the repo records:
+
+* **spans** (wall-clock seconds) — service, engine and simulator phases,
+  one track ("thread") per root span so concurrent jobs render side by
+  side under the ``repro spans`` process;
+* **PE activity** (simulated cycles) — the event-driven simulator's
+  per-task execution spans, one track per PE under the ``accelerator
+  (cycles)`` process.  Cycle timestamps are emitted as microseconds
+  verbatim: the two processes use different time units on purpose, and
+  Perfetto renders them as independent tracks.
+
+Load the file at https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .tracing import Span
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: pid used for wall-clock span tracks
+SPAN_PID = 1
+#: pid used for simulated-cycle PE activity tracks
+PE_PID = 2
+
+
+def _root_lanes(spans: Sequence[Span]) -> dict[int, int]:
+    """Map every span id to a lane (track) shared by its whole tree."""
+    parent = {sp.span_id: sp.parent_id for sp in spans}
+    roots: dict[int, int] = {}
+
+    def root_of(span_id: int) -> int:
+        cur = span_id
+        while True:
+            p = parent.get(cur)
+            if p is None or p not in parent:
+                return cur
+            cur = p
+
+    next_lane = 1
+    ordered = sorted(spans, key=lambda sp: (sp.start, sp.span_id))
+    out: dict[int, int] = {}
+    for sp in ordered:
+        root = root_of(sp.span_id)
+        if root not in roots:
+            roots[root] = next_lane
+            next_lane += 1
+        out[sp.span_id] = roots[root]
+    return out
+
+
+def chrome_trace_events(
+    spans: Sequence[Span],
+    pe_events: Iterable[tuple[int, int, float, float]] = (),
+) -> list[dict]:
+    """Build the ``traceEvents`` list for spans + PE activity."""
+    events: list[dict] = [
+        {
+            "ph": "M", "pid": SPAN_PID, "tid": 0,
+            "name": "process_name", "args": {"name": "repro spans"},
+        },
+    ]
+    origin = min((sp.start for sp in spans), default=0.0)
+    lanes = _root_lanes(spans)
+    for sp in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        events.append(
+            {
+                "ph": "X",
+                "pid": SPAN_PID,
+                "tid": lanes.get(sp.span_id, 1),
+                "name": sp.name,
+                "cat": "span",
+                "ts": (sp.start - origin) * 1e6,
+                "dur": sp.duration * 1e6,
+                "args": {
+                    str(k): _jsonable(v) for k, v in sp.attrs.items()
+                },
+            }
+        )
+    pe_list = list(pe_events)
+    if pe_list:
+        events.append(
+            {
+                "ph": "M", "pid": PE_PID, "tid": 0,
+                "name": "process_name",
+                "args": {"name": "accelerator (cycles)"},
+            }
+        )
+        for pe, level, start, end in pe_list:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PE_PID,
+                    "tid": int(pe),
+                    "name": f"L{int(level)}",
+                    "cat": "pe",
+                    "ts": float(start),
+                    "dur": float(end - start),
+                    "args": {"level": int(level)},
+                }
+            )
+    return events
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Sequence[Span],
+    pe_events: Iterable[tuple[int, int, float, float]] = (),
+) -> list[dict]:
+    """Write a Perfetto-loadable JSON file; returns the event list."""
+    events = chrome_trace_events(spans, pe_events)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload, indent=None))
+    return events

@@ -1,0 +1,65 @@
+"""Logging configuration for the library and its CLI.
+
+The library itself only ever creates module-level loggers
+(``logging.getLogger(__name__)``) and never configures handlers — that is
+the application's job.  :func:`configure_logging` is that job for the CLI
+and the examples: it attaches one stream handler to the ``repro`` logger,
+picking the level from (in order of precedence)
+
+1. the ``--verbose`` flag count (``-v`` → INFO, ``-vv`` → DEBUG),
+2. the ``REPRO_LOG`` environment variable (a level name like ``debug``
+   or a number),
+3. the default, WARNING.
+
+Calling it twice replaces the handler instead of stacking duplicates, so
+in-process tests can call it freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["configure_logging", "ENV_VAR"]
+
+#: environment variable consulted for the default log level
+ENV_VAR = "REPRO_LOG"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: marker attribute identifying the handler this module installed
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def _level_from_env() -> int | None:
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return None
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else None
+
+
+def configure_logging(
+    verbose: int = 0, stream=None
+) -> int:
+    """Configure the ``repro`` logger; returns the effective level."""
+    level = _level_from_env()
+    if level is None:
+        level = logging.WARNING
+    if verbose == 1:
+        level = min(level, logging.INFO)
+    elif verbose >= 2:
+        level = min(level, logging.DEBUG)
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return level

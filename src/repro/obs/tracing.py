@@ -1,0 +1,163 @@
+"""Structured span tracing with contextvars-based propagation.
+
+A :class:`Span` is one named, timed piece of work with free-form
+attributes; a :class:`Tracer` collects finished spans.  The *current*
+span is tracked in a :mod:`contextvars` variable, so nesting follows the
+call stack automatically — across threads each thread sees its own stack,
+and the service layer stitches worker-process spans back under the
+service-side job span with :meth:`Tracer.ingest`.
+
+Spans are plain picklable dataclasses: a worker process records them
+locally, ships them home inside the job's
+:class:`~repro.obs.profile.ExecutionProfile`, and the service re-parents
+them without loss.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+__all__ = ["Span", "Tracer", "current_span"]
+
+#: the innermost open span of the current execution context
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> "Span | None":
+    """The innermost open span of this context (None outside any span)."""
+    return _CURRENT_SPAN.get()
+
+
+@dataclass
+class Span:
+    """One timed operation; ``start``/``end`` are ``perf_counter`` seconds."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    end: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+
+class Tracer:
+    """Collects finished spans; hands out ids; thread-safe."""
+
+    def __init__(
+        self, clock=time.perf_counter, max_spans: int | None = None
+    ) -> None:
+        self._clock = clock
+        self._ids = itertools.count(1)
+        #: finished spans; bounded when ``max_spans`` is set so a
+        #: long-lived traced service keeps only the most recent history
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child of the context's current span for the duration."""
+        parent = _CURRENT_SPAN.get()
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+        token = _CURRENT_SPAN.set(sp)
+        try:
+            yield sp
+        finally:
+            _CURRENT_SPAN.reset(token)
+            sp.end = self._clock()
+            with self._lock:
+                self._spans.append(sp)
+
+    def start_span(
+        self, name: str, parent: Span | None = None, **attrs: Any
+    ) -> Span:
+        """Manually open a span (for work spanning callbacks/threads).
+
+        The span is *not* made the context's current span; close it with
+        :meth:`end_span`.
+        """
+        return Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+
+    def end_span(self, span: Span) -> None:
+        span.end = self._clock()
+        with self._lock:
+            self._spans.append(span)
+
+    # -- access ------------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """A point-in-time copy of every finished span."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def ingest(
+        self,
+        spans: Sequence[Span],
+        parent: Span | None = None,
+        align_to: float | None = None,
+    ) -> list[Span]:
+        """Adopt foreign spans (e.g. from a worker process).
+
+        Ids are remapped into this tracer's id space with the internal
+        parent/child structure preserved; spans whose parent is not in the
+        batch become children of ``parent``.  ``align_to`` shifts the whole
+        batch so its earliest start lands there — worker processes have
+        their own ``perf_counter`` origin, so absolute times from another
+        process are meaningless until re-anchored.
+        """
+        if not spans:
+            return []
+        id_map = {sp.span_id: next(self._ids) for sp in spans}
+        shift = 0.0
+        if align_to is not None:
+            shift = align_to - min(sp.start for sp in spans)
+        adopted: list[Span] = []
+        parent_id = parent.span_id if parent is not None else None
+        for sp in spans:
+            adopted.append(
+                Span(
+                    name=sp.name,
+                    span_id=id_map[sp.span_id],
+                    parent_id=id_map.get(sp.parent_id, parent_id)
+                    if sp.parent_id is not None
+                    else parent_id,
+                    start=sp.start + shift,
+                    end=sp.end + shift,
+                    attrs=dict(sp.attrs),
+                )
+            )
+        with self._lock:
+            self._spans.extend(adopted)
+        return adopted

@@ -173,6 +173,10 @@ class Job:
     dispatched_at: float = field(default=0.0)
     #: registry record pinned at submit time (graph + payload snapshot)
     record: Any = None
+    #: open ``service.job`` span when the service is traced (else None)
+    span: Any = None
+    #: open ``service.queued`` child span (closed at first dispatch)
+    queued_span: Any = None
 
     def sort_key(self) -> tuple[int, int]:
         """Heap order: lower priority value first, FIFO within a priority."""

@@ -41,9 +41,13 @@ code path is testable without real sleeps.
 from __future__ import annotations
 
 import itertools
+import json
+import logging
 import os
 import threading
 import time
+from collections import deque
+from pathlib import Path
 from concurrent.futures import (
     BrokenExecutor,
     Future,
@@ -56,6 +60,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from ..core.config import SystemConfig, xset_default
 from ..core.incremental import IncrementalGPM
 from ..errors import QueueFullError, ServiceError, WorkerCrashError
+from ..obs import MetricsRegistry, Observation, Tracer
+from ..obs.export import chrome_trace_events
 from ..patterns.plan import build_plan
 from .cache import CacheKey, ResultCache, pattern_cache_key
 from .job import Job, JobHandle, JobStatus
@@ -66,16 +72,25 @@ from .worker import run_job
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.csr import CSRGraph
+    from ..obs import ExecutionProfile
     from ..patterns.pattern import Pattern
     from ..sim.report import SimReport
 
 __all__ = ["QueryService", "InlineExecutor", "MODES"]
+
+logger = logging.getLogger(__name__)
 
 #: accepted values for ``QueryService(mode=...)``
 MODES = ("process", "thread", "inline")
 
 #: exception types treated as "the worker died" → retried with backoff
 _CRASH_TYPES = (BrokenExecutor, WorkerCrashError)
+
+#: finished spans retained by a traced service (most recent history)
+TRACE_SPAN_LIMIT = 20_000
+
+#: execution profiles retained by a traced service
+PROFILE_LIMIT = 256
 
 
 class InlineExecutor:
@@ -110,6 +125,7 @@ class QueryService:
         sleep: Callable[[float], None] = time.sleep,
         executor=None,
         start_paused: bool = False,
+        observability: bool = False,
     ) -> None:
         if mode not in MODES:
             raise ServiceError(
@@ -131,7 +147,21 @@ class QueryService:
         self._registry = GraphRegistry()
         self._cache = ResultCache(cache_capacity)
         self._queue = JobQueue(queue_limit, on_timeout=self._note_timeout)
-        self._latency = LatencyRecorder()
+        # metrics always exist (they are cheap, per-job bookkeeping);
+        # span tracing + per-query profiling is opt-in via observability=
+        self.metrics = MetricsRegistry()
+        self._latency = LatencyRecorder(registry=self.metrics)
+        self._observation: Observation | None = (
+            Observation(
+                registry=self.metrics,
+                tracer=Tracer(max_spans=TRACE_SPAN_LIMIT),
+            )
+            if observability
+            else None
+        )
+        self._profiles: deque["ExecutionProfile"] = deque(
+            maxlen=PROFILE_LIMIT
+        )
         self._seq = itertools.count()
         self._job_ids = itertools.count(1)
         self._cond = threading.Condition()
@@ -212,11 +242,35 @@ class QueryService:
             engine=cfg.engine,
             cancel_cb=self._cancel,
         )
+        self.metrics.counter(
+            "repro_jobs_submitted_total", "jobs accepted by submit()"
+        ).inc()
+        ob = self._observation
+        job_span = (
+            ob.tracer.start_span(
+                "service.job",
+                graph_id=graph_id,
+                pattern=pattern.name,
+                engine=cfg.engine,
+                job_id=handle.job_id,
+            )
+            if ob is not None
+            else None
+        )
         if use_cache:
             cached = self._cache.get(key)
+            self.metrics.counter(
+                "repro_cache_hits_total" if cached is not None
+                else "repro_cache_misses_total",
+                "result-cache outcome of cached submits",
+            ).inc()
             if cached is not None:
                 handle.from_cache = True
                 handle._finish(JobStatus.DONE, report=cached)
+                if ob is not None and job_span is not None:
+                    job_span.set_attr("cache_hit", True)
+                    job_span.set_attr("outcome", "done")
+                    ob.tracer.end_span(job_span)
                 with self._cond:
                     self._submitted += 1
                     self._completed += 1
@@ -234,6 +288,12 @@ class QueryService:
                 None if timeout is None else self._clock() + timeout
             ),
             record=record,  # snapshot pinned at submit time
+            span=job_span,
+            queued_span=(
+                ob.tracer.start_span("service.queued", parent=job_span)
+                if ob is not None
+                else None
+            ),
         )
         self._queue.push(job)  # raises QueueFullError under backpressure
         with self._cond:
@@ -303,7 +363,28 @@ class QueryService:
 
     # -- scheduling internals ----------------------------------------------
 
+    def _end_job_span(self, job: Job, outcome: str) -> None:
+        """Close the job's open spans (queued child first), if traced."""
+        ob = self._observation
+        if ob is None or job.span is None:
+            return
+        if job.queued_span is not None:
+            ob.tracer.end_span(job.queued_span)
+            job.queued_span = None
+        job.span.set_attr("outcome", outcome)
+        job.span.set_attr("attempts", job.attempts)
+        ob.tracer.end_span(job.span)
+        job.span = None
+
     def _note_timeout(self, job: Job) -> None:
+        logger.info(
+            "job %d (%s on %s) deadline expired while queued",
+            job.handle.job_id, job.handle.pattern_name, job.graph_id,
+        )
+        self.metrics.counter(
+            "repro_jobs_timed_out_total", "jobs whose queue deadline expired"
+        ).inc()
+        self._end_job_span(job, "timeout")
         with self._cond:
             self._timed_out += 1
 
@@ -403,6 +484,9 @@ class QueryService:
         job.handle.attempts = job.attempts
         job.handle._set_running()
         job.dispatched_at = time.perf_counter()
+        if job.queued_span is not None and self._observation is not None:
+            self._observation.tracer.end_span(job.queued_span)
+            job.queued_span = None
         payload = (
             job.record.payload if self.mode == "process" else job.record.graph
         )
@@ -416,6 +500,7 @@ class QueryService:
                 payload,
                 job.plan,
                 job.config,
+                observe_run=self._observation is not None,
             )
         except BaseException as exc:  # pool already broken at submit time
             future = Future()
@@ -429,6 +514,7 @@ class QueryService:
         if future.cancelled():
             # the executor dropped the job (e.g. cancel_futures on
             # shutdown); release waiters instead of hanging them forever
+            self._end_job_span(job, "cancelled")
             if job.handle._finish(JobStatus.CANCELLED):
                 with self._cond:
                     self._cancelled += 1
@@ -437,7 +523,25 @@ class QueryService:
         if exc is None:
             report = future.result()
             self._cache.put(job.cache_key, report)
+            profile = getattr(report, "profile", None)
+            ob = self._observation
+            if ob is not None and profile is not None:
+                # worker processes have their own perf_counter origin, so
+                # re-anchor their spans at the dispatch timestamp; threads
+                # and inline runs already share this process's clock
+                ob.tracer.ingest(
+                    profile.spans,
+                    parent=job.span,
+                    align_to=(
+                        job.dispatched_at if self.mode == "process" else None
+                    ),
+                )
+                self._profiles.append(profile)
+            self._end_job_span(job, "done")
             if job.handle._finish(JobStatus.DONE, report=report):
+                self.metrics.counter(
+                    "repro_jobs_completed_total", "jobs finished successfully"
+                ).inc()
                 self._latency.record(
                     job.config.engine,
                     time.perf_counter() - job.dispatched_at,
@@ -447,8 +551,20 @@ class QueryService:
             return
         if isinstance(exc, _CRASH_TYPES) and job.attempts <= \
                 self.retry.max_retries:
+            logger.warning(
+                "job %d (%s on %s) crashed on attempt %d, retrying: %s",
+                job.handle.job_id, job.handle.pattern_name, job.graph_id,
+                job.attempts, exc,
+            )
+            self.metrics.counter(
+                "repro_job_retries_total", "crash-shaped failures retried"
+            ).inc()
             with self._cond:
                 self._retries += 1
+            if self._observation is not None and job.span is not None:
+                job.queued_span = self._observation.tracer.start_span(
+                    "service.queued", parent=job.span, retry=job.attempts
+                )
             delay = self.retry.backoff_for(job.attempts)
             if self.mode == "inline":
                 # synchronous mode: this callback runs on the submitting
@@ -464,6 +580,7 @@ class QueryService:
             try:
                 self._queue.push(job)
             except QueueFullError as full:
+                self._end_job_span(job, "failed")
                 if job.handle._finish(JobStatus.FAILED, error=full):
                     with self._cond:
                         self._failed += 1
@@ -476,6 +593,14 @@ class QueryService:
                 f"job {job.handle.job_id} crashed {job.attempts} time(s); "
                 f"retries exhausted ({self.retry.max_retries}): {exc}"
             )
+        logger.error(
+            "job %d (%s on %s) failed: %s",
+            job.handle.job_id, job.handle.pattern_name, job.graph_id, exc,
+        )
+        self.metrics.counter(
+            "repro_jobs_failed_total", "jobs that exhausted their retries"
+        ).inc()
+        self._end_job_span(job, "failed")
         if exc is not None and job.handle._finish(
             JobStatus.FAILED, error=exc
         ):
@@ -494,6 +619,12 @@ class QueryService:
             cancelled = self._cancelled
             timed_out = self._timed_out
             retries = self._retries
+        self.metrics.gauge(
+            "repro_queue_depth", "jobs currently queued"
+        ).set(self._queue.depth())
+        self.metrics.gauge(
+            "repro_in_flight", "jobs currently on workers"
+        ).set(in_flight)
         return ServiceStats(
             mode=self.mode,
             workers=self.max_workers,
@@ -513,7 +644,49 @@ class QueryService:
             cache_invalidations=self._cache.invalidations,
             cache_hit_rate=self._cache.hit_rate,
             latency=self._latency.summary(),
+            metrics=self.metrics.snapshot(),
         )
+
+    @property
+    def observability(self) -> bool:
+        """True when span tracing / profiling was enabled at construction."""
+        return self._observation is not None
+
+    def metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        self.stats()  # refresh the queue/in-flight gauges first
+        return self.metrics.render_prometheus()
+
+    def profiles(self) -> list["ExecutionProfile"]:
+        """Recent :class:`ExecutionProfile`\\ s (newest last, bounded)."""
+        return list(self._profiles)
+
+    def trace_events(self) -> list[dict]:
+        """Chrome trace events for all finished spans + PE activity."""
+        ob = self._observation
+        if ob is None:
+            raise ServiceError(
+                "tracing is disabled; construct the service with "
+                "observability=True"
+            )
+        pe_events: list[tuple] = []
+        for profile in self._profiles:
+            pe_events.extend(profile.pe_events)
+        return chrome_trace_events(ob.tracer.finished(), pe_events)
+
+    def export_trace(self, path: str | None = None) -> "list[dict] | None":
+        """Write (or return) the unified Chrome/Perfetto trace.
+
+        With ``path`` the trace JSON is written there and None is returned;
+        without it the raw event list comes back.  Raises
+        :class:`~repro.errors.ServiceError` when tracing is disabled.
+        """
+        events = self.trace_events()
+        if path is None:
+            return events
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        Path(path).write_text(json.dumps(payload))
+        return None
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the service: cancel queued jobs, drain or drop in-flight."""
@@ -526,6 +699,7 @@ class QueryService:
         # queued-but-never-run jobs (including any parked on a retry
         # backoff, which pop() would defer) must not hang their waiters
         for job in self._queue.drain():
+            self._end_job_span(job, "cancelled")
             if job.handle._finish(JobStatus.CANCELLED):
                 with self._cond:
                     self._cancelled += 1

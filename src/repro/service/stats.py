@@ -3,15 +3,25 @@
 ``QueryService.stats()`` returns one immutable :class:`ServiceStats`
 snapshot.  Latencies are recorded per engine over a bounded window so a
 long-lived service reports *recent* behaviour, not its lifetime average.
+
+Since the observability layer landed, the recorder is built on the shared
+:mod:`repro.obs` vocabulary instead of ad-hoc math: samples live in
+:class:`repro.obs.summary.Window` rings, summaries use the one shared
+nearest-rank :func:`repro.obs.summary.percentile`, and every recorded
+sample also feeds a ``repro_job_latency_seconds`` histogram in the
+service's :class:`~repro.obs.metrics.MetricsRegistry` so the same numbers
+are scrapeable in Prometheus text form.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyRecorder", "ServiceStats"]
+from ..obs.metrics import MetricsRegistry
+from ..obs.summary import Window, percentile
+
+__all__ = ["LatencyRecorder", "ServiceStats", "percentile"]
 
 #: latency samples kept per engine (ring buffer)
 LATENCY_WINDOW = 1024
@@ -20,40 +30,51 @@ LATENCY_WINDOW = 1024
 PERCENTILES = (50, 90, 99)
 
 
-def percentile(samples: list[float], pct: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0 for an empty window)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, round(pct / 100 * len(ordered)) - 1))
-    return ordered[rank]
-
-
 class LatencyRecorder:
-    """Windowed per-engine latency samples with percentile summaries."""
+    """Windowed per-engine latency samples with percentile summaries.
 
-    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+    Thin façade over the shared observability primitives: one
+    :class:`~repro.obs.summary.Window` per engine plus a labelled
+    histogram in ``registry`` (a private registry is created when none is
+    supplied, so standalone use keeps working).
+    """
+
+    def __init__(
+        self,
+        window: int = LATENCY_WINDOW,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._window = window
-        self._samples: dict[str, deque[float]] = {}
+        # explicit None check: an *empty* registry is falsy (len() == 0)
+        self._registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._windows: dict[str, Window] = {}
         self._lock = threading.Lock()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
 
     def record(self, engine: str, seconds: float) -> None:
         with self._lock:
-            bucket = self._samples.get(engine)
-            if bucket is None:
-                bucket = self._samples[engine] = deque(maxlen=self._window)
-            bucket.append(seconds)
+            ring = self._windows.get(engine)
+            if ring is None:
+                ring = self._windows[engine] = Window(self._window)
+        ring.add(seconds)
+        self._registry.histogram(
+            "repro_job_latency_seconds",
+            "per-engine job execution latency",
+            engine=engine,
+        ).observe(seconds)
 
     def summary(self) -> dict[str, dict[str, float]]:
         """``{engine: {"p50": ..., "p90": ..., "p99": ..., "count": n}}``."""
         with self._lock:
-            snapshot = {k: list(v) for k, v in self._samples.items()}
+            windows = dict(self._windows)
         return {
-            engine: {
-                **{f"p{p}": percentile(vals, p) for p in PERCENTILES},
-                "count": float(len(vals)),
-            }
-            for engine, vals in snapshot.items()
+            engine: ring.summary(PERCENTILES)
+            for engine, ring in windows.items()
         }
 
 
@@ -80,6 +101,8 @@ class ServiceStats:
     cache_hit_rate: float
     #: per-engine latency percentiles over the recent window
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: flattened metrics-registry snapshot (``{"name{label=...}": value}``)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable multi-line rendering (used by the CLI)."""

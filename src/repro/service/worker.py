@@ -53,14 +53,39 @@ def run_job(
     payload: "bytes | CSRGraph",
     plan: "MatchingPlan",
     config: "SystemConfig",
+    observe_run: bool = False,
 ) -> "SimReport":
-    """Execute one query on the configured engine; returns the report."""
+    """Execute one query on the configured engine; returns the report.
+
+    With ``observe_run=True`` the run executes inside its own observation
+    scope and the report comes back with an
+    :class:`~repro.obs.profile.ExecutionProfile` attached — spans, per-level
+    totals and the PE activity timeline all recorded worker-side and
+    shipped home with the (picklable) report.
+    """
     from ..sim.host import run_on_soc
 
     graph = _resolve_graph(graph_id, fingerprint, payload)
+    if not observe_run:
+        t0 = time.perf_counter()
+        report = run_on_soc(graph, plan, config)
+        report.wall_seconds = time.perf_counter() - t0
+        return report
+
+    from ..obs import build_profile, observe
+
     t0 = time.perf_counter()
-    report = run_on_soc(graph, plan, config)
+    with observe() as ob:
+        with ob.tracer.span(
+            "worker.run_job",
+            graph_id=graph_id,
+            pattern=plan.pattern.name,
+            engine=config.engine,
+            pid=os.getpid(),
+        ):
+            report = run_on_soc(graph, plan, config)
     report.wall_seconds = time.perf_counter() - t0
+    report.profile = build_profile(report, ob, engine=config.engine)
     return report
 
 

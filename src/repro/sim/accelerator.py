@@ -22,6 +22,7 @@ from ..core.config import SystemConfig
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
 from ..memory.hierarchy import MemoryHierarchy
+from ..obs import context as _obs
 from ..patterns.plan import MatchingPlan
 from ..sched.policies import SchedulerBase, make_scheduler
 from ..sched.task import SimTask
@@ -49,11 +50,15 @@ class AcceleratorSim:
         graph: CSRGraph,
         plan: MatchingPlan,
         config: SystemConfig,
-        collect_trace: bool = False,
+        collect_trace: bool | None = None,
     ) -> None:
         self.graph = graph
         self.plan = plan
         self.config = config
+        # default: collect the PE timeline exactly when an observation is
+        # active (repro.obs); explicit True/False always wins
+        if collect_trace is None:
+            collect_trace = _obs.enabled()
         self.trace: ActivityTrace | None = (
             ActivityTrace(config.num_pes, config.sius_per_pe)
             if collect_trace
@@ -120,6 +125,20 @@ class AcceleratorSim:
 
     def run(self, start_tasks: list[SimTask] | None = None) -> SimReport:
         """Simulate to completion; returns the metrics report."""
+        with _obs.span(
+            "sim.accelerator",
+            graph=self.graph.name,
+            pattern=self.plan.pattern.name,
+            pes=self.config.num_pes,
+            sius_per_pe=self.config.sius_per_pe,
+        ):
+            report = self._run(start_tasks)
+        ob = _obs.current()
+        if ob is not None and self.trace is not None:
+            ob.add_activity(self.trace)
+        return report
+
+    def _run(self, start_tasks: list[SimTask] | None = None) -> SimReport:
         t_wall = _time.perf_counter()
         self._distribute_roots(start_tasks)
         report = SimReport(

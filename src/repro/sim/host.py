@@ -17,11 +17,13 @@ is also the primitive the CPU baseline models build on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from ..core.config import SystemConfig
 from ..engine.base import get_engine
+from ..obs import context as _obs
 from ..graph.csr import CSRGraph
 from ..patterns.executor import apply_filters
 from ..patterns.plan import MatchingPlan
@@ -118,7 +120,12 @@ class HostModel:
         stop_level = plan.stop_level
         if stop_level > self.config.max_hw_levels:
             hw_start = stop_level - self.config.max_hw_levels + 1
-            prefix = self._software_prefix(graph, plan, hw_start)
+            t0 = perf_counter()
+            with _obs.span("host.prefix", hw_start_level=hw_start):
+                prefix = self._software_prefix(graph, plan, hw_start)
+            ob = _obs.current()
+            if ob is not None:
+                ob.add_stage("host_prefix", perf_counter() - t0)
             start_tasks = prefix.tasks
             host_cycles += prefix.host_cycles
         self.rocc.run(start_tasks=start_tasks)

@@ -37,6 +37,7 @@ from ..engine.temporal import (
 )
 from ..graph.csr import CSRGraph
 from ..memory.hierarchy import MemoryHierarchy
+from ..obs import context as _obs
 from ..patterns.plan import MatchingPlan
 from ..siu.base import SIUCostModel
 
@@ -79,6 +80,9 @@ class HardwareTaskExecutor:
             self._row_words,
             task_overhead_cycles=task_overhead_cycles,
         )
+        # guarded hot-path hook: pinned once at construction so the
+        # per-task fast path below is a single None check when disabled
+        self._obs = _obs.current()
 
     def set_words(self, vertices: np.ndarray) -> int:
         """Stream length in BitmapCSR words of an arbitrary sorted set."""
@@ -87,4 +91,12 @@ class HardwareTaskExecutor:
     def execute(self, task, pe: int, now: float) -> TaskOutcome:
         """Run one task on PE ``pe`` starting at time ``now``."""
         expansion = expand_task(self.graph, self.plan, task)
-        return self._annotator.annotate(expansion, task, pe, now)
+        outcome = self._annotator.annotate(expansion, task, pe, now)
+        if self._obs is not None:
+            self._obs.level_add(
+                task.level,
+                tasks=1,
+                elements=outcome.words_in,
+                comparisons=outcome.comparisons,
+            )
+        return outcome

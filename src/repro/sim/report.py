@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import ExecutionProfile
 
 __all__ = ["SimReport"]
 
@@ -38,6 +42,11 @@ class SimReport:
     peak_active_task_sets: int = 0
     per_pe_busy: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: execution profile attached when the run was observed
+    #: (:mod:`repro.obs`); None on unobserved runs, excluded from equality
+    profile: "ExecutionProfile | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def seconds(self) -> float:

@@ -111,3 +111,58 @@ class TestServeCommand:
     def test_engine_choice_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--engine", "warp"])
+
+
+class TestStatsCommand:
+    def test_profile_and_summary_printed(self, capsys):
+        rc = main(
+            ["stats", "--dataset", "PP", "--pattern", "3CF",
+             "--scale", "0.05"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-level work" in out
+        assert "span durations" in out
+        assert "1 submitted" in out
+
+    def test_prometheus_dump(self, capsys):
+        rc = main(
+            ["stats", "--dataset", "PP", "--pattern", "WEDGE",
+             "--scale", "0.05", "--engine", "batched", "--prometheus"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_jobs_submitted_total counter" in out
+
+
+class TestTraceCommand:
+    def test_export_writes_perfetto_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "--dataset", "PP", "--pattern", "3CF",
+             "--scale", "0.05", "--export", str(path)]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        cats = {e.get("cat") for e in data["traceEvents"]}
+        assert "span" in cats and "pe" in cats
+
+    def test_stdout_json_when_no_export(self, capsys):
+        import json
+
+        rc = main(
+            ["trace", "--dataset", "PP", "--pattern", "WEDGE",
+             "--scale", "0.05", "--engine", "batched"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert any(
+            e.get("name") == "service.job" for e in data["traceEvents"]
+        )
+
+    def test_verbose_flag_parses(self):
+        args = build_parser().parse_args(["-vv", "engines"])
+        assert args.verbose == 2

@@ -46,6 +46,17 @@ class TestExamples:
         )
         assert "full recount agrees" in out
 
+    def test_traced_query(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        out = run_example(
+            "traced_query.py",
+            ["--scale", "0.05", "--out", str(out_file)],
+            capsys,
+        )
+        assert "per-level work" in out
+        assert "ui.perfetto.dev" in out
+        assert out_file.exists()
+
     def test_examples_importable(self):
         """Every example compiles (no syntax errors, imports resolve)."""
         import py_compile
