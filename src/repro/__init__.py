@@ -16,10 +16,14 @@ Quickstart::
 """
 
 from .errors import (
+    CircuitOpenError,
     ConfigError,
+    FaultInjectionError,
     GraphFormatError,
+    InjectedCrashError,
     JobCancelledError,
     JobTimeoutError,
+    LoadShedError,
     MemoryModelError,
     PatternError,
     PlanError,
@@ -31,13 +35,17 @@ from .errors import (
     XSetError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CircuitOpenError",
     "ConfigError",
+    "FaultInjectionError",
     "GraphFormatError",
+    "InjectedCrashError",
     "JobCancelledError",
     "JobTimeoutError",
+    "LoadShedError",
     "MemoryModelError",
     "PatternError",
     "PlanError",
@@ -68,6 +76,11 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "QueryService": "repro.service",
         "JobHandle": "repro.service",
         "JobStatus": "repro.service",
+        "ResilienceConfig": "repro.resilience",
+        "FaultPlan": "repro.resilience",
+        "FaultSpec": "repro.resilience",
+        "FaultKind": "repro.resilience",
+        "HealthState": "repro.resilience",
         "observe": "repro.obs",
         "ExecutionProfile": "repro.obs",
         "MetricsRegistry": "repro.obs",

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..obs import context as _obs
+from ..resilience import faults as _faults
 from ..siu.models import make_siu
 from .base import Engine, register_engine
 from .functional import FrontierExpander, FrontierLevel
@@ -69,6 +70,11 @@ class BatchedEngine(Engine):
         # guarded hot-path hook: with no active observation this is one
         # attribute load, and no span / accumulator code runs at all
         ob = _obs.current()
+        # fault site "engine.batched": CRASH/HANG fire before the sweep,
+        # CORRUPT flips a bit in the final count after it (soft error)
+        inj = _faults.active()
+        if inj is not None:
+            inj.fire("engine.batched")
         siu = make_siu(
             config.siu_kind, config.segment_width, config.bitmap_width
         )
@@ -97,6 +103,8 @@ class BatchedEngine(Engine):
             num_sius=config.num_pes * config.sius_per_pe,
         )
         annotate_frontier_report(report, merged, graph, config, siu)
+        if inj is not None:
+            inj.corrupt("engine.batched", report)
         report.wall_seconds = _time.perf_counter() - t_wall
         return report
 

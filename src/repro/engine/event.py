@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..obs import context as _obs
+from ..resilience import faults as _faults
 from .base import Engine, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,7 +43,16 @@ class EventEngine(Engine):
     ) -> "SimReport":
         from ..sim.host import HostModel
 
+        # fault site "engine.event": CRASH/HANG before the simulation,
+        # CORRUPT on the final count after it; the "memory.stream" site
+        # inside the hierarchy fires during the run itself
+        inj = _faults.active()
+        if inj is not None:
+            inj.fire("engine.event")
         with _obs.span(
             "engine.event", graph=graph.name, pattern=plan.pattern.name
         ):
-            return HostModel(config).run(graph, plan)
+            report = HostModel(config).run(graph, plan)
+        if inj is not None:
+            inj.corrupt("engine.event", report)
+        return report

@@ -62,3 +62,36 @@ class JobCancelledError(ServiceError):
 
 class WorkerCrashError(ServiceError):
     """A pool worker died while running a job (retries exhausted)."""
+
+
+class LoadShedError(ServiceError):
+    """An overloaded service shed this low-priority submission.
+
+    Raised at submit time while the service is in the OVERLOADED
+    degradation state; retry later or resubmit with a higher priority
+    (lower priority value).
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The target engine's circuit breaker is open and no fallback ran."""
+
+
+class FaultInjectionError(ServiceError):
+    """A fault plan or spec is malformed (resilience test harness)."""
+
+
+class InjectedCrashError(WorkerCrashError):
+    """A deterministic injected worker crash (chaos testing).
+
+    Subclasses :class:`WorkerCrashError` so the service's retry /
+    breaker paths treat it exactly like a real dying worker.  Carries
+    the fault ``site`` so the service can label its fault counters.
+    """
+
+    def __init__(self, site: str = "worker.run") -> None:
+        super().__init__(f"injected worker crash at {site!r}")
+        self.site = site
+
+    def __reduce__(self):  # keep ``site`` across process-pool pickling
+        return (type(self), (self.site,))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import MemoryModelError
+from ..resilience import faults as _faults
 from .cache import WORDS_PER_LINE, CacheConfig, CacheModel
 from .cacti import estimate_sram
 from .dram import DRAMConfig, DRAMModel
@@ -166,6 +167,13 @@ class MemoryHierarchy:
         stream_cycles = float(
             max(bank_cycles, shared_cycles, dram_cycles, shared_queue)
         )
+        # fault-injection site "memory.stream": with no injector armed this
+        # is a single contextvar load (same contract as the obs hooks)
+        inj = _faults.active()
+        if inj is not None:
+            first_latency, stream_cycles = inj.stall(
+                "memory.stream", first_latency, stream_cycles
+            )
         return StreamResult(
             first_latency=first_latency,
             stream_cycles=stream_cycles,

@@ -245,6 +245,27 @@ class MetricsRegistry:
             Histogram, name, help_, labels, buckets=buckets
         )
 
+    def set_state_gauge(
+        self,
+        name: str,
+        help_: str,
+        current: str,
+        states: Iterable[str],
+        **labels: str,
+    ) -> None:
+        """Export an enum as a Prometheus StateSet-style gauge family.
+
+        One gauge per state (label ``state=<s>``) holding 1 for the
+        current state and 0 for every other — the convention dashboards
+        use to render breaker / health state machines without magic
+        numbers.  Used by the resilience layer for breaker and service
+        health states.
+        """
+        for state in states:
+            self.gauge(name, help_, state=state, **labels).set(
+                1.0 if state == current else 0.0
+            )
+
     def __len__(self) -> int:
         return len(self._metrics)
 

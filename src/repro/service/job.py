@@ -32,7 +32,8 @@ class JobStatus(enum.Enum):
     DONE = "done"            # result available (possibly from cache)
     FAILED = "failed"        # raised, retries exhausted
     CANCELLED = "cancelled"  # cancelled while queued
-    TIMEOUT = "timeout"      # deadline expired before it could run
+    TIMEOUT = "timeout"      # deadline expired (queued, or running under
+                             # the resilience watchdog)
 
     @property
     def terminal(self) -> bool:
@@ -140,7 +141,7 @@ class JobHandle:
             raise JobCancelledError(f"job {self.job_id} was cancelled")
         if status is JobStatus.TIMEOUT:
             raise JobTimeoutError(
-                f"job {self.job_id} deadline expired before it ran"
+                f"job {self.job_id} deadline expired before it finished"
             )
         assert self._error is not None
         raise self._error
@@ -177,6 +178,12 @@ class Job:
     span: Any = None
     #: open ``service.queued`` child span (closed at first dispatch)
     queued_span: Any = None
+    #: original engine when a breaker / crash-exhaustion rerouted the job
+    rerouted_from: str | None = None
+    #: cross-check engine sampled for this job (resilience layer)
+    verify_engine: str | None = None
+    #: fault specs assigned by the armed plan for the current attempt
+    faults: Any = None
 
     def sort_key(self) -> tuple[int, int]:
         """Heap order: lower priority value first, FIFO within a priority."""

@@ -44,6 +44,7 @@ import itertools
 import json
 import logging
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -59,10 +60,26 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..core.config import SystemConfig, xset_default
 from ..core.incremental import IncrementalGPM
-from ..errors import QueueFullError, ServiceError, WorkerCrashError
+from ..errors import (
+    CircuitOpenError,
+    InjectedCrashError,
+    LoadShedError,
+    QueueFullError,
+    ServiceError,
+    WorkerCrashError,
+)
 from ..obs import MetricsRegistry, Observation, Tracer
 from ..obs.export import chrome_trace_events
 from ..patterns.plan import build_plan
+from ..resilience import (
+    BreakerBoard,
+    BreakerState,
+    HealthReport,
+    HealthState,
+    ResilienceConfig,
+    Watchdog,
+    assess,
+)
 from .cache import CacheKey, ResultCache, pattern_cache_key
 from .job import Job, JobHandle, JobStatus
 from .registry import GraphRegistry
@@ -74,6 +91,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.csr import CSRGraph
     from ..obs import ExecutionProfile
     from ..patterns.pattern import Pattern
+    from ..resilience import FaultPlan
     from ..sim.report import SimReport
 
 __all__ = ["QueryService", "InlineExecutor", "MODES"]
@@ -126,6 +144,7 @@ class QueryService:
         executor=None,
         start_paused: bool = False,
         observability: bool = False,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if mode not in MODES:
             raise ServiceError(
@@ -175,6 +194,33 @@ class QueryService:
         self._cancelled = 0
         self._timed_out = 0
         self._retries = 0
+        # -- resilience layer (breakers, watchdog, shedding, fault plan) --
+        self.resilience = resilience or ResilienceConfig()
+        self._fault_plan: "FaultPlan | None" = None
+        self._breakers: BreakerBoard | None = (
+            BreakerBoard(
+                failure_threshold=self.resilience.failure_threshold,
+                recovery_seconds=self.resilience.recovery_seconds,
+                half_open_probes=self.resilience.half_open_probes,
+                clock=clock,
+            )
+            if self.resilience.enabled
+            else None
+        )
+        self._watchdog = Watchdog(
+            clock,
+            interval=self.resilience.watchdog_interval,
+            enforce_deadlines=(
+                self.resilience.enabled
+                and self.resilience.enforce_running_deadlines
+            ),
+        )
+        self._shed = 0
+        self._abandoned = 0
+        self._rerouted = 0
+        self._crosscheck_mismatches = 0
+        self._faults_injected = 0
+        self._dispatcher_stuck = False
 
     # -- graph registry ----------------------------------------------------
 
@@ -225,6 +271,23 @@ class QueryService:
         """
         if self._shutdown:
             raise ServiceError("service has been shut down")
+        res = self.resilience
+        if (
+            res.enabled
+            and priority >= res.degradation.shed_min_priority
+            and self._health_state() is HealthState.OVERLOADED
+        ):
+            self.metrics.counter(
+                "repro_jobs_shed_total",
+                "low-priority submissions shed while overloaded",
+            ).inc()
+            with self._cond:
+                self._shed += 1
+            raise LoadShedError(
+                f"service overloaded (queue {self._queue.depth()}/"
+                f"{self._queue.limit}); shed priority-{priority} "
+                f"submission of {pattern.name!r} on {graph_id!r}"
+            )
         record = self._registry.get(graph_id)
         cfg = config or self.config
         if engine is not None and engine != cfg.engine:
@@ -257,6 +320,21 @@ class QueryService:
             if ob is not None
             else None
         )
+        if timeout is not None and timeout <= 0:
+            # a non-positive deadline can never be met: finish the job as
+            # TIMEOUT here instead of enqueueing work that is already dead
+            self.metrics.counter(
+                "repro_jobs_timed_out_total",
+                "jobs whose deadline expired",
+            ).inc()
+            if ob is not None and job_span is not None:
+                job_span.set_attr("outcome", "timeout")
+                ob.tracer.end_span(job_span)
+            handle._finish(JobStatus.TIMEOUT)
+            with self._cond:
+                self._submitted += 1
+                self._timed_out += 1
+            return handle
         if use_cache:
             cached = self._cache.get(key)
             self.metrics.counter(
@@ -382,7 +460,7 @@ class QueryService:
             job.handle.job_id, job.handle.pattern_name, job.graph_id,
         )
         self.metrics.counter(
-            "repro_jobs_timed_out_total", "jobs whose queue deadline expired"
+            "repro_jobs_timed_out_total", "jobs whose deadline expired"
         ).inc()
         self._end_job_span(job, "timeout")
         with self._cond:
@@ -480,6 +558,8 @@ class QueryService:
     def _dispatch(self, job: Job) -> None:
         if job.handle.status is not JobStatus.PENDING:
             return
+        if not self._route(job):
+            return
         job.attempts += 1
         job.handle.attempts = job.attempts
         job.handle._set_running()
@@ -487,11 +567,23 @@ class QueryService:
         if job.queued_span is not None and self._observation is not None:
             self._observation.tracer.end_span(job.queued_span)
             job.queued_span = None
+        if self._fault_plan is not None:
+            job.faults = (
+                self._fault_plan.for_job(job.handle.job_id, job.attempts)
+                or None
+            )
+        self._maybe_sample_verify(job)
         payload = (
             job.record.payload if self.mode == "process" else job.record.graph
         )
         with self._cond:
             self._in_flight += 1
+        # watch BEFORE the executor submit: inline futures complete (and
+        # run _on_done) synchronously, and _on_done's unwatch() is the
+        # ownership handshake that keeps the accounting single-owner
+        self._watchdog.watch(job)
+        if job.deadline is not None:
+            self._ensure_watchdog_thread()
         try:
             future = self._get_executor().submit(
                 run_job,
@@ -501,13 +593,118 @@ class QueryService:
                 job.plan,
                 job.config,
                 observe_run=self._observation is not None,
+                faults=job.faults,
+                verify_engine=job.verify_engine,
             )
         except BaseException as exc:  # pool already broken at submit time
             future = Future()
             future.set_exception(exc)
+        self._watchdog.attach_future(job.handle.job_id, future)
         future.add_done_callback(lambda f: self._on_done(job, f))
 
+    def _route(self, job: Job) -> bool:
+        """Apply breaker routing; False when the job was failed instead.
+
+        An open breaker on the job's engine either reroutes it to the
+        configured fallback (if that engine's breaker allows), dispatches
+        anyway (advisory mode, the default), or — under ``fail_fast`` —
+        fails the job with a typed :class:`CircuitOpenError`.
+        """
+        board = self._breakers
+        if board is None:
+            return True
+        res = self.resilience
+        engine = job.config.engine
+        if board.for_engine(engine).allow():
+            return True
+        fallback = res.fallback_for(engine)
+        if (
+            fallback is not None
+            and job.rerouted_from is None
+            and board.for_engine(fallback).allow()
+        ):
+            self._reroute(job, engine, fallback, "breaker_open")
+            return True
+        if not res.fail_fast:
+            # advisory breaker: dispatch anyway; outcomes keep feeding the
+            # breaker so a recovered engine closes it again
+            return True
+        exc = CircuitOpenError(
+            f"engine {engine!r} breaker is open and no fallback is "
+            f"available for job {job.handle.job_id}"
+        )
+        logger.error(
+            "job %d (%s on %s) failed fast: %s",
+            job.handle.job_id, job.handle.pattern_name, job.graph_id, exc,
+        )
+        self.metrics.counter(
+            "repro_jobs_failed_total", "jobs that exhausted their retries"
+        ).inc()
+        self._end_job_span(job, "failed")
+        if job.handle._finish(JobStatus.FAILED, error=exc):
+            with self._cond:
+                self._failed += 1
+        return False
+
+    def _reroute(
+        self, job: Job, engine: str, fallback: str, reason: str
+    ) -> None:
+        """Send the job to ``fallback`` instead of its configured engine."""
+        logger.warning(
+            "job %d (%s on %s) rerouted %s -> %s (%s)",
+            job.handle.job_id, job.handle.pattern_name, job.graph_id,
+            engine, fallback, reason,
+        )
+        job.config = job.config.with_overrides(engine=fallback)
+        job.rerouted_from = engine
+        job.handle.engine = fallback
+        if job.span is not None:
+            job.span.set_attr("rerouted_from", engine)
+            job.span.set_attr("reroute_reason", reason)
+        self.metrics.counter(
+            "repro_jobs_rerouted_total",
+            "jobs rerouted to a fallback engine",
+            from_engine=engine,
+            to_engine=fallback,
+        ).inc()
+        with self._cond:
+            self._rerouted += 1
+
+    def _maybe_sample_verify(self, job: Job) -> None:
+        """Deterministically sample this job for a cross-engine check.
+
+        The decision is a pure function of ``(verify_seed, job_id)`` so a
+        replayed workload cross-checks exactly the same jobs regardless
+        of scheduling.  Rerouted jobs are skipped — their fallback engine
+        *is* the cross-check engine.
+        """
+        res = self.resilience
+        if (
+            not res.enabled
+            or res.verify_fraction <= 0.0
+            or job.verify_engine is not None
+            or job.rerouted_from is not None
+        ):
+            return
+        rng = random.Random(hash((res.verify_seed, job.handle.job_id)))
+        if rng.random() >= res.verify_fraction:
+            return
+        engine = job.config.engine
+        verify = res.fallback_for(engine)
+        if verify is None:
+            verify = "event" if engine != "event" else "batched"
+        if verify == engine:
+            return
+        job.verify_engine = verify
+        if job.span is not None:
+            job.span.set_attr("verify_engine", verify)
+
     def _on_done(self, job: Job, future: Future) -> None:
+        if not self._watchdog.unwatch(job.handle.job_id):
+            # the watchdog already abandoned this job (running-deadline
+            # expiry): it owned the in-flight slot and finished the
+            # waiters with TIMEOUT, so this late result is dropped
+            return
         with self._cond:
             self._in_flight -= 1
             self._cond.notify_all()
@@ -520,9 +717,46 @@ class QueryService:
                     self._cancelled += 1
             return
         exc = future.exception()
+        board = self._breakers
         if exc is None:
             report = future.result()
-            self._cache.put(job.cache_key, report)
+            notes = getattr(report, "notes", None) or {}
+            self._note_injected(notes.get("injected"))
+            crosscheck = notes.get("crosscheck")
+            mismatch = bool(crosscheck and crosscheck.get("mismatch"))
+            if board is not None:
+                breaker = board.for_engine(job.config.engine)
+                if mismatch:
+                    breaker.record_failure("wrong_result")
+                else:
+                    breaker.record_success()
+            if crosscheck is not None:
+                self.metrics.counter(
+                    "repro_crosschecks_total",
+                    "sampled cross-engine verification runs",
+                    result="mismatch" if mismatch else "match",
+                ).inc()
+                if mismatch:
+                    logger.error(
+                        "job %d cross-check mismatch: %s counted %s but "
+                        "%s counted %s; serving the verified report",
+                        job.handle.job_id,
+                        crosscheck.get("primary_engine"),
+                        crosscheck.get("primary_count"),
+                        crosscheck.get("verify_engine"),
+                        crosscheck.get("verify_count"),
+                    )
+                    with self._cond:
+                        self._crosscheck_mismatches += 1
+            if (
+                not mismatch
+                and job.rerouted_from is None
+                and not notes.get("injected")
+            ):
+                # mismatched, fault-perturbed or rerouted reports must not
+                # poison the cache: their counts or timings are not what a
+                # clean run of the submitted (engine, config) would yield
+                self._cache.put(job.cache_key, report)
             profile = getattr(report, "profile", None)
             ob = self._observation
             if ob is not None and profile is not None:
@@ -549,6 +783,13 @@ class QueryService:
                 with self._cond:
                     self._completed += 1
             return
+        if isinstance(exc, _CRASH_TYPES):
+            if board is not None:
+                board.for_engine(job.config.engine).record_failure("crash")
+            if isinstance(exc, InjectedCrashError):
+                # the worker died before it could ship notes home; count
+                # the injected crash from the typed error's site instead
+                self._note_injected({f"{exc.site}:crash": 1})
         if isinstance(exc, _CRASH_TYPES) and job.attempts <= \
                 self.retry.max_retries:
             logger.warning(
@@ -589,6 +830,41 @@ class QueryService:
                 self._cond.notify_all()
             return
         if isinstance(exc, _CRASH_TYPES):
+            fallback = self.resilience.fallback_for(job.config.engine)
+            if (
+                self.resilience.enabled
+                and fallback is not None
+                and job.rerouted_from is None
+                and (board is None or board.for_engine(fallback).allow())
+            ):
+                # last resort: retries on the primary engine are spent, but
+                # a fallback route exists — restart the attempt budget there
+                self._reroute(
+                    job, job.config.engine, fallback,
+                    "crash_retries_exhausted",
+                )
+                job.attempts = 0
+                job.handle.attempts = 0
+                job.not_before = None
+                if self._observation is not None and job.span is not None:
+                    job.queued_span = self._observation.tracer.start_span(
+                        "service.queued", parent=job.span, reroute=fallback
+                    )
+                self._rebuild_executor_if_broken()
+                job.handle._requeue()
+                try:
+                    self._queue.push(job)
+                except QueueFullError as full:
+                    self._end_job_span(job, "failed")
+                    if job.handle._finish(JobStatus.FAILED, error=full):
+                        with self._cond:
+                            self._failed += 1
+                    return
+                # inline mode needs no kick: _on_done runs inside
+                # _drain_inline's loop, which pops the requeued job next
+                with self._cond:
+                    self._cond.notify_all()
+                return
             exc = WorkerCrashError(
                 f"job {job.handle.job_id} crashed {job.attempts} time(s); "
                 f"retries exhausted ({self.retry.max_retries}): {exc}"
@@ -607,6 +883,127 @@ class QueryService:
             with self._cond:
                 self._failed += 1
 
+    # -- resilience --------------------------------------------------------
+
+    def arm_faults(self, plan: "FaultPlan | None") -> None:
+        """Arm (or, with None, disarm) a seeded fault plan for chaos runs.
+
+        Each subsequent dispatch asks the plan which faults apply to that
+        ``(job_id, attempt)`` and ships the specs to the worker; with no
+        plan armed the dispatch path is one ``is None`` check and the
+        worker path is byte-identical to normal operation.
+        """
+        with self._cond:
+            self._fault_plan = plan
+
+    def _note_injected(self, events: "dict[str, int] | None") -> None:
+        """Fold a worker's ``site:kind`` fault events into the metrics."""
+        if not events:
+            return
+        total = 0
+        for key, count in events.items():
+            site, _, kind = key.partition(":")
+            self.metrics.counter(
+                "repro_faults_injected_total",
+                "injected faults observed by the service",
+                site=site,
+                kind=kind,
+            ).inc(count)
+            total += count
+        with self._cond:
+            self._faults_injected += total
+
+    def check_watchdog(self) -> int:
+        """One watchdog pass: abandon running jobs past their deadline.
+
+        The background watchdog thread calls this on an interval in pool
+        modes; deterministic tests call it directly against a fake clock.
+        Returns how many jobs were abandoned on this pass.  Abandoned
+        jobs free their in-flight slot and finish their waiters with
+        ``TIMEOUT``; the (possibly hung) worker future is cancelled
+        best-effort and any late result it produces is dropped by the
+        unwatch handshake in ``_on_done``.
+        """
+        expired = self._watchdog.scan()
+        for job, future in expired:
+            if future is not None:
+                future.cancel()
+            self.metrics.counter(
+                "repro_jobs_abandoned_total",
+                "running jobs abandoned by the watchdog",
+            ).inc()
+            self.metrics.counter(
+                "repro_jobs_timed_out_total",
+                "jobs whose deadline expired",
+            ).inc()
+            self._end_job_span(job, "timeout")
+            job.handle._finish(JobStatus.TIMEOUT)
+            with self._cond:
+                self._in_flight -= 1
+                self._timed_out += 1
+                self._abandoned += 1
+                self._cond.notify_all()
+        if expired:
+            # a worker stuck in a hung job may have broken the pool (or we
+            # may simply want fresh capacity); replace it if so
+            self._rebuild_executor_if_broken()
+        return len(expired)
+
+    def _ensure_watchdog_thread(self) -> None:
+        """Start the background scan thread (pool modes only).
+
+        Inline mode completes every job synchronously inside ``submit``,
+        so there is never a *running* job for a thread to observe —
+        deterministic tests drive :meth:`check_watchdog` directly.
+        """
+        if self.mode == "inline" or not self._watchdog.enforce_deadlines:
+            return
+        self._watchdog.start(self.check_watchdog)
+
+    def _health_state(self) -> HealthState:
+        """Classify the service right now (queue occupancy + breakers)."""
+        if not self.resilience.enabled:
+            return HealthState.HEALTHY
+        breakers = (
+            self._breakers.states().values()
+            if self._breakers is not None
+            else ()
+        )
+        return assess(
+            self._queue.depth(),
+            self._queue.limit,
+            breakers,
+            self.resilience.degradation,
+        )
+
+    def health(self) -> HealthReport:
+        """Point-in-time degradation report (state machine + counters)."""
+        with self._cond:
+            in_flight = self._in_flight
+            shed = self._shed
+            abandoned = self._abandoned
+            rerouted = self._rerouted
+            mismatches = self._crosscheck_mismatches
+            faults = self._faults_injected
+            stuck = self._dispatcher_stuck
+        return HealthReport(
+            state=self._health_state(),
+            queue_depth=self._queue.depth(),
+            queue_limit=self._queue.limit,
+            in_flight=in_flight,
+            breakers=(
+                self._breakers.snapshots()
+                if self._breakers is not None
+                else {}
+            ),
+            shed=shed,
+            abandoned=abandoned,
+            rerouted=rerouted,
+            crosscheck_mismatches=mismatches,
+            faults_injected=faults,
+            dispatcher_stuck=stuck,
+        )
+
     # -- introspection / lifecycle -----------------------------------------
 
     def stats(self) -> ServiceStats:
@@ -619,12 +1016,35 @@ class QueryService:
             cancelled = self._cancelled
             timed_out = self._timed_out
             retries = self._retries
+            shed = self._shed
+            abandoned = self._abandoned
+            rerouted = self._rerouted
+            mismatches = self._crosscheck_mismatches
+            faults = self._faults_injected
+            stuck = self._dispatcher_stuck
         self.metrics.gauge(
             "repro_queue_depth", "jobs currently queued"
         ).set(self._queue.depth())
         self.metrics.gauge(
             "repro_in_flight", "jobs currently on workers"
         ).set(in_flight)
+        health = self._health_state()
+        if self.resilience.enabled:
+            self.metrics.set_state_gauge(
+                "repro_health_state",
+                "service degradation state (1 = current)",
+                health.name.lower(),
+                [s.name.lower() for s in HealthState],
+            )
+            if self._breakers is not None:
+                for engine, state in self._breakers.states().items():
+                    self.metrics.set_state_gauge(
+                        "repro_breaker_state",
+                        "per-engine circuit breaker state (1 = current)",
+                        state.name.lower(),
+                        [s.name.lower() for s in BreakerState],
+                        engine=engine,
+                    )
         return ServiceStats(
             mode=self.mode,
             workers=self.max_workers,
@@ -637,6 +1057,13 @@ class QueryService:
             cancelled=cancelled,
             timed_out=timed_out,
             retries=retries,
+            shed=shed,
+            abandoned=abandoned,
+            rerouted=rerouted,
+            crosscheck_mismatches=mismatches,
+            faults_injected=faults,
+            health=health.name.lower(),
+            dispatcher_stuck=stuck,
             cache_size=len(self._cache),
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
@@ -688,8 +1115,15 @@ class QueryService:
         Path(path).write_text(json.dumps(payload))
         return None
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop the service: cancel queued jobs, drain or drop in-flight."""
+    def shutdown(self, wait: bool = True, join_timeout: float = 5.0) -> None:
+        """Stop the service: cancel queued jobs, drain or drop in-flight.
+
+        A dispatcher thread that fails to stop within ``join_timeout``
+        seconds (a worker pinned by a hung job can block it on the
+        in-flight gate) is reported — logged with the ids of the jobs it
+        is stuck behind and surfaced as ``dispatcher_stuck`` in
+        :meth:`stats` / :meth:`health` — rather than waited on forever.
+        """
         with self._cond:
             if self._shutdown:
                 return
@@ -704,7 +1138,17 @@ class QueryService:
                 with self._cond:
                     self._cancelled += 1
         if dispatcher is not None:
-            dispatcher.join(timeout=5.0)
+            dispatcher.join(timeout=join_timeout)
+            if dispatcher.is_alive():
+                stuck_ids = self._watchdog.running_ids()
+                logger.warning(
+                    "dispatcher thread failed to stop within %.1fs; "
+                    "still-running job ids: %s",
+                    join_timeout, list(stuck_ids) or "none",
+                )
+                with self._cond:
+                    self._dispatcher_stuck = True
+        self._watchdog.stop()
         with self._cond:
             executor = self._executor
             self._executor = None

@@ -99,6 +99,21 @@ class ServiceStats:
     cache_evictions: int
     cache_invalidations: int
     cache_hit_rate: float
+    # -- resilience counters (zero on an undisturbed service) --------------
+    #: submissions shed while OVERLOADED
+    shed: int = 0
+    #: running jobs abandoned by the watchdog
+    abandoned: int = 0
+    #: jobs sent to a fallback engine (breaker open / retries exhausted)
+    rerouted: int = 0
+    #: sampled cross-engine checks that disagreed on the count
+    crosscheck_mismatches: int = 0
+    #: injected faults observed (chaos runs only)
+    faults_injected: int = 0
+    #: degradation state at snapshot time: healthy/degraded/overloaded
+    health: str = "healthy"
+    #: True when shutdown() could not join the dispatcher thread
+    dispatcher_stuck: bool = False
     #: per-engine latency percentiles over the recent window
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
     #: flattened metrics-registry snapshot (``{"name{label=...}": value}``)
@@ -122,6 +137,18 @@ class ServiceStats:
                 f"{self.cache_invalidations} invalidated"
             ),
         ]
+        if (
+            self.health != "healthy" or self.shed or self.abandoned
+            or self.rerouted or self.crosscheck_mismatches
+            or self.faults_injected or self.dispatcher_stuck
+        ):
+            lines.append(
+                f"resilience: health={self.health}, {self.shed} shed, "
+                f"{self.abandoned} abandoned, {self.rerouted} rerouted, "
+                f"{self.crosscheck_mismatches} cross-check mismatches, "
+                f"{self.faults_injected} faults injected"
+                + (", DISPATCHER STUCK" if self.dispatcher_stuck else "")
+            )
         for engine, pcts in sorted(self.latency.items()):
             lines.append(
                 f"latency[{engine}]: "

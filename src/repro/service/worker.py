@@ -6,6 +6,20 @@ and its arguments must be cheap to serialise: the graph travels either as
 the registry's pre-pickled payload bytes (process mode — pickled once per
 registration, deserialised once per worker process and fingerprint) or as
 the live :class:`CSRGraph` object (thread/inline modes — zero copies).
+
+Resilience hooks (both default-off and free when unused):
+
+* ``faults`` — the job's assigned :class:`~repro.resilience.FaultSpec`
+  set, derived service-side from the armed seeded plan.  A
+  :class:`~repro.resilience.FaultInjector` is armed around the run so
+  the ``worker.run`` / ``engine.*`` / ``memory.stream`` sites fire;
+  whatever actually fired ships home in ``report.notes["injected"]``.
+* ``verify_engine`` — the sampled cross-check: the job is re-run on a
+  second engine and the exact embedding counts compared.  On a mismatch
+  (silent corruption somewhere in the primary datapath) the *verified*
+  report is returned instead, with both counts recorded in
+  ``report.notes["crosscheck"]`` so the service can trip the primary
+  engine's breaker.
 """
 
 from __future__ import annotations
@@ -13,9 +27,11 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 from ..graph.csr import CSRGraph
+from ..resilience.faults import FaultInjector, FaultSpec, inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import SystemConfig
@@ -47,25 +63,15 @@ def _resolve_graph(
     return graph
 
 
-def run_job(
-    graph_id: str,
-    fingerprint: str,
-    payload: "bytes | CSRGraph",
+def _run_primary(
+    graph: CSRGraph,
     plan: "MatchingPlan",
     config: "SystemConfig",
-    observe_run: bool = False,
+    observe_run: bool,
 ) -> "SimReport":
-    """Execute one query on the configured engine; returns the report.
-
-    With ``observe_run=True`` the run executes inside its own observation
-    scope and the report comes back with an
-    :class:`~repro.obs.profile.ExecutionProfile` attached — spans, per-level
-    totals and the PE activity timeline all recorded worker-side and
-    shipped home with the (picklable) report.
-    """
+    """The pre-resilience execution paths, byte-for-byte unchanged."""
     from ..sim.host import run_on_soc
 
-    graph = _resolve_graph(graph_id, fingerprint, payload)
     if not observe_run:
         t0 = time.perf_counter()
         report = run_on_soc(graph, plan, config)
@@ -78,7 +84,7 @@ def run_job(
     with observe() as ob:
         with ob.tracer.span(
             "worker.run_job",
-            graph_id=graph_id,
+            graph_id=graph.name,
             pattern=plan.pattern.name,
             engine=config.engine,
             pid=os.getpid(),
@@ -86,6 +92,62 @@ def run_job(
             report = run_on_soc(graph, plan, config)
     report.wall_seconds = time.perf_counter() - t0
     report.profile = build_profile(report, ob, engine=config.engine)
+    return report
+
+
+def run_job(
+    graph_id: str,
+    fingerprint: str,
+    payload: "bytes | CSRGraph",
+    plan: "MatchingPlan",
+    config: "SystemConfig",
+    observe_run: bool = False,
+    faults: "tuple[FaultSpec, ...] | None" = None,
+    verify_engine: str | None = None,
+) -> "SimReport":
+    """Execute one query on the configured engine; returns the report.
+
+    With ``observe_run=True`` the run executes inside its own observation
+    scope and the report comes back with an
+    :class:`~repro.obs.profile.ExecutionProfile` attached — spans, per-level
+    totals and the PE activity timeline all recorded worker-side and
+    shipped home with the (picklable) report.
+    """
+    from ..sim.host import run_on_soc
+
+    graph = _resolve_graph(graph_id, fingerprint, payload)
+    injector = FaultInjector(faults) if faults else None
+    with inject(injector) if injector is not None else nullcontext():
+        if injector is not None:
+            # site "worker.run": CRASH raises a crash-shaped error the
+            # service retries/reroutes, HANG stalls this worker
+            injector.fire("worker.run")
+        report = _run_primary(graph, plan, config, observe_run)
+    # the cross-check runs outside the fault scope: it is the trusted
+    # independent recomputation, never subject to the job's injections
+    verify_report: "SimReport | None" = None
+    if verify_engine is not None and verify_engine != config.engine:
+        verify_report = run_on_soc(
+            graph, plan, config.with_overrides(engine=verify_engine)
+        )
+    if injector is not None and injector.events:
+        report.notes["injected"] = dict(injector.events)
+    if verify_report is not None:
+        mismatch = verify_report.embeddings != report.embeddings
+        crosscheck = {
+            "primary_engine": config.engine,
+            "verify_engine": verify_engine,
+            "primary_count": report.embeddings,
+            "verify_count": verify_report.embeddings,
+            "mismatch": mismatch,
+        }
+        if mismatch:
+            # silent corruption detected: serve the independently computed
+            # report (the verify engine re-ran outside the fault scope's
+            # one-shot corruptions) and let the service trip the breaker
+            verify_report.notes.update(report.notes)
+            report = verify_report
+        report.notes["crosscheck"] = crosscheck
     return report
 
 

@@ -47,6 +47,10 @@ class SimReport:
     profile: "ExecutionProfile | None" = field(
         default=None, repr=False, compare=False
     )
+    #: side-channel annotations from the worker path (injected-fault
+    #: events, cross-check outcomes); excluded from equality so resilience
+    #: bookkeeping never perturbs report comparisons
+    notes: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def seconds(self) -> float:

@@ -86,6 +86,47 @@ class TestIO:
         with pytest.raises(GraphFormatError):
             load_edge_list(path)
 
+    def test_negative_id_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("0 1\n1 -2\n")
+        with pytest.raises(GraphFormatError, match=r"neg\.txt:2.*negative"):
+            load_edge_list(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            load_edge_list(path)
+
+    def test_comment_only_file_rejected(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# a header\n% nothing else\n\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            load_edge_list(path)
+
+    def test_snap_header_edge_mismatch_rejected(self, tmp_path):
+        # declares 5 edges, contains 2 — a truncated download
+        path = tmp_path / "trunc.txt"
+        path.write_text("# Nodes: 3 Edges: 5\n0 1\n1 2\n")
+        with pytest.raises(GraphFormatError, match="declares 5 edges"):
+            load_edge_list(path)
+
+    def test_save_header_vertex_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "under.txt"
+        path.write_text("# g: 2 vertices, 3 edges\n0 1\n1 2\n2 0\n")
+        with pytest.raises(GraphFormatError, match="declares 2 vertices"):
+            load_edge_list(path)
+
+    def test_consistent_snap_header_accepted(self, tmp_path):
+        # duplicates, reversals and self-loops collapse to 2 unique edges
+        path = tmp_path / "ok.txt"
+        path.write_text(
+            "# Nodes: 3 Edges: 2\n0 1\n1 0\n1 2\n1 1\n"
+        )
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
 
 class TestDatasets:
     def test_registry_has_seven(self):
