@@ -13,9 +13,14 @@ and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: repo root — machine-readable benchmark artifacts (``BENCH_*.json``)
+#: live here so the perf trajectory is diffable across PRs
+REPO_ROOT = Path(__file__).parent.parent
 
 #: per-dataset down-scale used by the end-to-end figures.  The large/skewed
 #: stand-ins run at smaller scale because their difference-heavy patterns
@@ -41,6 +46,17 @@ def emit(name: str, text: str) -> str:
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return text
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark artifact at the repo root.
+
+    Written as ``BENCH_<name>.json`` with sorted keys and a trailing
+    newline so successive runs produce minimal, reviewable diffs.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def once(benchmark, fn):

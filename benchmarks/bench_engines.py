@@ -1,11 +1,18 @@
-"""Execution-engine comparison: event-driven vs batched wall clock.
+"""Execution-engine comparison: event vs batched vs codegen wall clock.
 
-Runs the same Table-3-style workloads through both registered execution
-backends, asserts they report *identical* embedding counts, and records the
-wall-clock ratio.  The batched engine exists to make count-only sweeps
-cheap, so the benchmark asserts the headline property: at least a 5x
-speedup on at least one workload (in practice the reuse-heavy clique
-patterns run orders of magnitude faster).
+Runs the same Table-3-style workloads through all three registered
+execution backends, asserts they report *identical* embedding counts, and
+records the wall-clock ratios against the event-driven reference.  The
+batched engine exists to make count-only sweeps cheap and the codegen
+engine compiles the plan's loop nest away entirely, so the benchmark
+asserts the headline property: at least a 5x speedup on at least one
+workload (in practice the reuse-heavy clique patterns run orders of
+magnitude faster).
+
+Besides the prose table in ``benchmarks/results/engines_speedup.txt``,
+the run emits machine-readable ``BENCH_engines.json`` at the repo root —
+per-workload counts, wall-times and speedups — so the perf trajectory is
+diffable across PRs.
 """
 
 import time
@@ -15,7 +22,9 @@ from repro.core.api import XSetAccelerator
 from repro.graph.datasets import load_dataset
 from repro.patterns.pattern import PATTERNS
 
-from _common import BENCH_SCALE, emit, once
+from _common import BENCH_SCALE, emit, emit_json, once
+
+ENGINES = ("event", "batched", "codegen")
 
 WORKLOADS = (
     ("PP", "3CF"),
@@ -25,44 +34,80 @@ WORKLOADS = (
     ("WV", "4CF"),
 )
 
+#: the exact command that regenerates these artifacts
+HARNESS_INVOCATION = (
+    "PYTHONPATH=src python -m pytest benchmarks/bench_engines.py -q -s"
+)
 
-def _run_both():
+
+def _run_all():
     accel = XSetAccelerator()
     rows = {}
     for ds, pat in WORKLOADS:
         graph = load_dataset(ds, scale=BENCH_SCALE[ds])
         pattern = PATTERNS[pat]
-        t0 = time.perf_counter()
-        ev = accel.count(graph, pattern, engine="event")
-        t_event = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        ba = accel.count(graph, pattern, engine="batched")
-        t_batched = time.perf_counter() - t0
-        rows[(ds, pat)] = (ev.embeddings, ba.embeddings, t_event, t_batched)
+        counts, seconds = {}, {}
+        for engine in ENGINES:
+            t0 = time.perf_counter()
+            report = accel.count(graph, pattern, engine=engine)
+            seconds[engine] = time.perf_counter() - t0
+            counts[engine] = report.embeddings
+        rows[(ds, pat)] = (counts, seconds)
     return rows
 
 
 def test_engine_speedup(benchmark):
-    rows = once(benchmark, _run_both)
+    rows = once(benchmark, _run_all)
 
     table = []
-    speedups = []
-    for (ds, pat), (n_ev, n_ba, t_ev, t_ba) in rows.items():
-        ratio = t_ev / max(t_ba, 1e-9)
-        speedups.append(ratio)
+    speedups = {engine: [] for engine in ENGINES[1:]}
+    workloads_json = []
+    for (ds, pat), (counts, seconds) in rows.items():
+        t_ev = seconds["event"]
+        ratios = {
+            engine: t_ev / max(seconds[engine], 1e-9)
+            for engine in ENGINES[1:]
+        }
+        for engine, ratio in ratios.items():
+            speedups[engine].append(ratio)
         table.append(
-            (f"{ds}/{pat}", f"{n_ev}", f"{t_ev:.3f}s", f"{t_ba:.3f}s",
-             f"{ratio:.1f}x")
+            (f"{ds}/{pat}", f"{counts['event']}",
+             f"{t_ev:.3f}s",
+             f"{seconds['batched']:.3f}s", f"{ratios['batched']:.1f}x",
+             f"{seconds['codegen']:.3f}s", f"{ratios['codegen']:.1f}x")
         )
+        workloads_json.append({
+            "dataset": ds,
+            "scale": BENCH_SCALE[ds],
+            "pattern": pat,
+            "embeddings": counts["event"],
+            "counts_identical": len(set(counts.values())) == 1,
+            "wall_seconds": {e: round(seconds[e], 6) for e in ENGINES},
+            "speedup_vs_event": {
+                e: round(ratios[e], 3) for e in ENGINES[1:]
+            },
+        })
     text = format_table(
-        ["workload", "embeddings", "event", "batched", "speedup"],
+        ["workload", "embeddings", "event",
+         "batched", "speedup", "codegen", "speedup"],
         table,
         title="Execution engines — identical counts, wall-clock ratio",
     )
+    text += f"\nharness: {HARNESS_INVOCATION}"
     emit("engines_speedup", text)
+    emit_json("engines", {
+        "benchmark": "engines_speedup",
+        "engines": list(ENGINES),
+        "harness_invocation": HARNESS_INVOCATION,
+        "workloads": workloads_json,
+        "max_speedup_vs_event": {
+            e: round(max(speedups[e]), 3) for e in ENGINES[1:]
+        },
+    })
 
-    # both backends share the functional layer: counts must match exactly
-    for (ds, pat), (n_ev, n_ba, _, _) in rows.items():
-        assert n_ev == n_ba, (ds, pat, n_ev, n_ba)
-    # the batched engine's reason to exist
-    assert max(speedups) >= 5.0, speedups
+    # every backend shares the functional layer: counts must match exactly
+    for (ds, pat), (counts, _) in rows.items():
+        assert len(set(counts.values())) == 1, (ds, pat, counts)
+    # the fast engines' reason to exist
+    assert max(speedups["batched"]) >= 5.0, speedups
+    assert max(speedups["codegen"]) >= 5.0, speedups

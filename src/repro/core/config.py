@@ -55,9 +55,10 @@ class SystemConfig:
     #: streaming order) or "degree-balanced" (greedy bin packing by degree,
     #: a load-balancing extension for skewed graphs)
     root_partition: str = "round-robin"
-    #: execution engine: "event" (cycle-approximate event-driven simulation)
-    #: or "batched" (vectorised frontier expansion with analytic timing) —
-    #: see repro.engine for the registry
+    #: execution engine: "event" (cycle-approximate event-driven
+    #: simulation), "batched" (vectorised frontier expansion with analytic
+    #: timing) or "codegen" (plan-compiled NumPy kernels, same counts and
+    #: timing model as batched) — see repro.engine for the registry
     engine: str = "event"
 
     def __post_init__(self) -> None:

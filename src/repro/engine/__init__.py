@@ -6,12 +6,13 @@ The engine layer splits plan execution into two orthogonal concerns —
   hardware computes), shared by every backend;
 * :mod:`repro.engine.temporal`: cycle-cost annotation (how long it takes),
   exact per-task for the event simulator, aggregate-analytic for batched
-  execution —
+  and codegen execution —
 
-and registers concrete backends behind one :class:`Engine` interface.
-Select a backend with ``SystemConfig(engine="batched")``,
-``XSetAccelerator(engine="batched")`` or ``python -m repro count
---engine batched``.
+and registers concrete backends behind one :class:`Engine` interface
+(``event``, ``batched`` and ``codegen`` — the last runs plan-compiled
+NumPy kernels emitted by :mod:`repro.patterns.codegen`).  Select a backend
+with ``SystemConfig(engine="batched")``, ``XSetAccelerator(engine=
+"batched")`` or ``python -m repro count --engine codegen``.
 """
 
 from .base import (

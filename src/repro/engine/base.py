@@ -15,10 +15,15 @@ the work and how they model time:
     aggregate analytic cycle charging.  Orders of magnitude faster in wall
     clock; use it when only counts (or a coarse cycle estimate for a
     design-space sweep) are needed.
+``codegen``
+    The same frontier algebra, but emitted as plan-specialised NumPy
+    source and ``exec``-compiled (fused filters, pre-bound symmetry
+    breaks, unrolled level loop).  Counts and cycle aggregates identical
+    to ``batched``; lowest dispatch overhead of the three.
 
-Backends self-register through :func:`register_engine`; the two built-ins
-are registered lazily by dotted path so importing this module stays cheap
-and free of circular imports.  A future backend (multiprocess sharding, GPU
+Backends self-register through :func:`register_engine`; the built-ins are
+registered lazily by dotted path so importing this module stays cheap and
+free of circular imports.  A future backend (multiprocess sharding, GPU
 kernels, ...) is one ``@register_engine`` away.
 """
 
@@ -79,6 +84,7 @@ _INSTANCES: dict[str, Engine] = {}
 _LAZY: dict[str, str] = {
     "event": "repro.engine.event:EventEngine",
     "batched": "repro.engine.batched:BatchedEngine",
+    "codegen": "repro.engine.codegen:CodegenEngine",
 }
 
 

@@ -10,7 +10,11 @@ prune the survivors.  Both execution engines consume it:
   layer for exact cycle annotation;
 * the ``batched`` backend expands a whole frontier level at once with the
   bulk kernels in :mod:`repro.setops.bulk`, charging analytic cycles in
-  aggregate.
+  aggregate;
+* the ``codegen`` backend replays the same per-level algebra from
+  plan-specialised compiled source (:mod:`repro.patterns.codegen`), using
+  :class:`FrontierExpander` only for its adjacency oracle and row-word
+  geometry.
 
 Nothing here touches the memory hierarchy, the SIU models or the clock, so
 these kernels are trivially reusable by future backends (multiprocess
@@ -222,8 +226,17 @@ class FrontierExpander:
         self._keys = None if self._adj_bits is not None else edge_keys(graph)
         self._row_words = row_word_counts(graph, bitmap_width)
 
-    def _adjacent(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
-        """Boolean mask: does the edge ``(u[i], v[i])`` exist?"""
+    @property
+    def row_words(self) -> np.ndarray:
+        """BitmapCSR words per neighbour row (indexable by vertex)."""
+        return self._row_words
+
+    def adjacent(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Boolean mask: does the edge ``(u[i], v[i])`` exist?
+
+        Public because compiled plan kernels (``repro.patterns.codegen``)
+        take it as their adjacency oracle.
+        """
         if self._adj_bits is not None:
             return bulk_adjacency_bits(self._adj_bits, u, v)
         assert self._keys is not None
@@ -289,7 +302,7 @@ class FrontierExpander:
                 out.words_in += other_words
                 out.set_ops += n_rows
                 out.comparisons += int(cand.size) + other_words
-                keep = self._adjacent(emb[owner, p], cand)
+                keep = self.adjacent(emb[owner, p], cand)
                 if invert:
                     np.logical_not(keep, out=keep)
                 cand = cand[keep]

@@ -1,4 +1,4 @@
-"""Graph substrate: CSR storage, BitmapCSR format, datasets, statistics."""
+"""Graph substrate: CSR storage, shared-memory store, BitmapCSR, datasets."""
 
 from .algorithms import (
     connected_components,
@@ -32,9 +32,23 @@ from .generators import (
 from .interop import from_networkx, to_networkx
 from .io import load_edge_list, save_edge_list
 from .stats import GraphStats, degree_skewness, graph_stats
+from .store import (
+    AttachedGraph,
+    GraphSegment,
+    SharedGraphRef,
+    attach_graph,
+    share_graph,
+    shm_available,
+)
 
 __all__ = [
     "VALID_WIDTHS",
+    "AttachedGraph",
+    "GraphSegment",
+    "SharedGraphRef",
+    "attach_graph",
+    "share_graph",
+    "shm_available",
     "connected_components",
     "core_numbers",
     "degeneracy",

@@ -9,6 +9,25 @@ list, renders it in the paper's textual form, and packs/unpacks a 64-bit
 binary encoding of each entry (what ``xset_config`` would actually DMA into
 the PE).
 
+Plan-compiled software kernels
+------------------------------
+The same compilation idea applied to the software engines: where the
+``batched`` backend interprets a generic level loop against the plan's
+``LevelSpec`` tuples, :func:`emit_plan_source` emits *real NumPy source*
+specialised to one plan — the loop nest is unrolled per level, candidate
+filters are fused (a single symmetry bound compiles to one comparison, not
+a ``min``-reduce over a one-element axis), bound/exclude positions and
+labels are baked in as constants, and the adjacency probes appear as
+straight-line statements.  :func:`compile_plan_kernel` ``exec``-compiles
+that source and caches the result per :func:`kernel_cache_key` — plan
+structure plus the graph's labelledness; none of the ``SystemConfig``
+timing knobs reach the functional source, so every config shares one
+kernel per plan.  The generated algebra replays
+``FrontierExpander.expand`` exactly, statement for statement, so counts
+*and* the analytic cycle aggregates are byte-identical to the ``batched``
+engine (the ``codegen`` backend in :mod:`repro.engine.codegen` is built on
+this guarantee).
+
 Encoding layout (LSB first):
 
 ====== ======= ==========================================================
@@ -28,12 +47,15 @@ bits    field   meaning
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from ..errors import PlanError
-from .plan import MatchingPlan
+from .plan import LevelSpec, MatchingPlan
 
 __all__ = ["TaskOp", "compile_task_list", "render_task_list",
-           "encode_task_op", "decode_task_op"]
+           "encode_task_op", "decode_task_op",
+           "CompiledKernel", "emit_plan_source", "compile_plan_kernel",
+           "kernel_cache_key", "kernel_cache_info", "clear_kernel_cache"]
 
 _NONE = 15
 _OPCODES = {"load": 0, "set_int": 1, "set_diff": 2}
@@ -209,3 +231,192 @@ def decode_task_op(word: int) -> TaskOp:
         count_only=bool((word >> 19) & 1),
         store=bool((word >> 20) & 1),
     )
+
+
+# -- plan-compiled software kernels ------------------------------------------
+
+
+def _emit_bound(lv: LevelSpec, op: str, positions: tuple[int, ...]) -> str:
+    """The fused bound predicate: one comparison for a single position,
+    a reduce over the pattern-constant column tuple otherwise."""
+    if len(positions) == 1:
+        return f"cand {op} emb[owner, {positions[0]}]"
+    reduce = "min" if op == "<" else "max"
+    cols = ", ".join(str(p) for p in positions)
+    return f"cand {op} emb[:, ({cols})].{reduce}(axis=1)[owner]"
+
+
+def _emit_level(
+    lv: LevelSpec, level: int, is_leaf: bool, collection: str,
+    use_labels: bool,
+) -> list[str]:
+    """Source lines (function-body indent) for one unrolled plan level."""
+    w = lines = []
+    w.append(f"    # -- level {level}: {lv.describe()}")
+    w.append("    if emb.shape[0] == 0:")
+    w.append("        return levels")
+    w.append("    n_rows = int(emb.shape[0])")
+    w.append(
+        f"    out = FrontierLevel(level={level}, tasks=n_rows, "
+        "embeddings=emb[:0], count=0)"
+    )
+    w.append("    levels.append(out)")
+    w.append(f"    src = emb[:, {lv.deps[0]}]")
+    w.append("    cand, owner = gather_rows(graph, src)")
+    w.append("    out.words_in += int(rw[src].sum())")
+    # cheap per-candidate filters, fused into pattern-constant predicates
+    predicates: list[str] = []
+    if lv.upper_bounds:
+        predicates.append(_emit_bound(lv, "<", lv.upper_bounds))
+    if lv.lower_bounds:
+        predicates.append(_emit_bound(lv, ">", lv.lower_bounds))
+    for p in lv.exclude:
+        predicates.append(f"cand != emb[owner, {p}]")
+    if use_labels and lv.label is not None:
+        predicates.append(f"graph.labels[cand] == {lv.label}")
+    for i, pred in enumerate(predicates):
+        w.append(f"    keep {'=' if i == 0 else '&='} {pred}")
+    if predicates:
+        w.append("    cand = cand[keep]")
+        w.append("    owner = owner[keep]")
+    # straight-line adjacency probes, one per remaining dependency
+    for p, invert in (
+        *((p, False) for p in lv.deps[1:]),
+        *((p, True) for p in lv.anti_deps),
+    ):
+        w.append(f"    other_words = int(rw[emb[:, {p}]].sum())")
+        w.append("    out.words_in += other_words")
+        w.append("    out.set_ops += n_rows")
+        w.append("    out.comparisons += int(cand.size) + other_words")
+        probe = f"adjacent(emb[owner, {p}], cand)"
+        w.append(f"    keep = {'~' if invert else ''}{probe}")
+        w.append("    cand = cand[keep]")
+        w.append("    owner = owner[keep]")
+    w.append("    out.words_out += int(cand.size)")
+    if is_leaf:
+        if collection == "choose2":
+            w.append("    sizes = np.bincount(owner, minlength=n_rows)")
+            w.append("    out.count = int((sizes * (sizes - 1) // 2).sum())")
+        else:
+            w.append("    out.count = int(cand.size)")
+        w.append("    return levels")
+    else:
+        w.append("    emb = np.column_stack([emb[owner], cand])")
+        w.append("    out.embeddings = emb")
+    w.append("")
+    return lines
+
+
+def emit_plan_source(plan: MatchingPlan, use_labels: bool = False) -> str:
+    """Emit plan-specialised NumPy source for one frontier sweep.
+
+    The generated module defines ``kernel(graph, adjacent, rw, emb)`` —
+    *graph* the :class:`~repro.graph.csr.CSRGraph`, *adjacent* a bulk
+    edge-existence oracle, *rw* the per-vertex row-word counts and *emb*
+    the level-0 frontier (one root per row).  It returns the per-level
+    :class:`~repro.engine.functional.FrontierLevel` records, identical in
+    counts and aggregates to interpreting the plan with
+    ``FrontierExpander.expand`` — but with the level loop unrolled, every
+    bound/exclude/label constant inlined, and no per-level attribute
+    dispatch.
+
+    ``use_labels`` bakes the plan's label predicates in; pass False when
+    the target graph is unlabelled (the interpreter skips them too, so the
+    specialisation must match).
+    """
+    lines = [
+        f'"""Plan-compiled kernel: pattern {plan.pattern.name}, '
+        f"collection {plan.collection}, depth {plan.depth}"
+        f"{', labelled' if use_labels else ''}.",
+        "",
+        "Generated by repro.patterns.codegen.emit_plan_source; do not edit.",
+        '"""',
+        "",
+        "",
+        "def kernel(graph, adjacent, rw, emb):",
+        "    levels = []",
+    ]
+    for level in range(1, plan.stop_level + 1):
+        lines += _emit_level(
+            plan.levels[level],
+            level,
+            is_leaf=level == plan.stop_level,
+            collection=plan.collection,
+            use_labels=use_labels,
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One exec-compiled plan kernel plus its provenance."""
+
+    key: tuple
+    source: str
+    fn: Callable[..., Any]
+
+
+#: compiled kernels, keyed by :func:`kernel_cache_key`
+_KERNEL_CACHE: dict[tuple, CompiledKernel] = {}
+_KERNEL_STATS = {"hits": 0, "misses": 0}
+
+
+def kernel_cache_key(plan: MatchingPlan, use_labels: bool = False) -> tuple:
+    """The cache identity of a compiled kernel.
+
+    Only inputs that reach the *emitted source* participate: the plan's
+    level structure, its collection mode and whether label predicates were
+    baked in.  ``SystemConfig`` knobs (SIU kind, widths, frequency, PE
+    counts) are timing-model parameters applied after the functional
+    sweep, so distinct configs deliberately share one kernel per plan.
+    """
+    return (plan.levels, plan.collection, plan.stop_level, bool(use_labels))
+
+
+def compile_plan_kernel(
+    plan: MatchingPlan, use_labels: bool = False
+) -> CompiledKernel:
+    """Emit, ``exec``-compile and cache the kernel for ``plan``."""
+    key = kernel_cache_key(plan, use_labels)
+    cached = _KERNEL_CACHE.get(key)
+    if cached is not None:
+        _KERNEL_STATS["hits"] += 1
+        return cached
+    _KERNEL_STATS["misses"] += 1
+    # imported here, not at module top: engine.functional itself imports
+    # repro.patterns, and kernels are only compiled on first use anyway
+    import numpy as np
+
+    from ..engine.functional import FrontierLevel
+    from ..setops.bulk import gather_rows
+
+    source = emit_plan_source(plan, use_labels)
+    namespace: dict[str, Any] = {
+        "np": np,
+        "gather_rows": gather_rows,
+        "FrontierLevel": FrontierLevel,
+        "__name__": f"repro.patterns.codegen.kernel_{plan.pattern.name}",
+    }
+    code = compile(
+        source, f"<plan-kernel:{plan.pattern.name}:{plan.collection}>", "exec"
+    )
+    exec(code, namespace)  # noqa: S102 - our own emitted source
+    kernel = CompiledKernel(key=key, source=source, fn=namespace["kernel"])
+    _KERNEL_CACHE[key] = kernel
+    return kernel
+
+
+def kernel_cache_info() -> dict:
+    """Cache statistics (observability for tests and debugging)."""
+    return {
+        "size": len(_KERNEL_CACHE),
+        "hits": _KERNEL_STATS["hits"],
+        "misses": _KERNEL_STATS["misses"],
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop every compiled kernel and reset the statistics."""
+    _KERNEL_CACHE.clear()
+    _KERNEL_STATS["hits"] = 0
+    _KERNEL_STATS["misses"] = 0

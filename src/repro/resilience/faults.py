@@ -70,6 +70,7 @@ __all__ = [
 FAULT_SITES = (
     "worker.run",
     "engine.batched",
+    "engine.codegen",
     "engine.event",
     "memory.stream",
 )

@@ -23,9 +23,13 @@ from .degradation import DegradationPolicy
 
 __all__ = ["ResilienceConfig", "DEFAULT_FALLBACKS"]
 
-#: the canonical fallback route: the fast analytic engine degrades to the
-#: reference event-driven engine (which is also the cross-check oracle)
-DEFAULT_FALLBACKS: tuple[tuple[str, str], ...] = (("batched", "event"),)
+#: the canonical fallback route: the compiled-kernel engine degrades to
+#: the interpreted batched engine, which degrades to the reference
+#: event-driven engine (also the cross-check oracle) — codegen→batched→event
+DEFAULT_FALLBACKS: tuple[tuple[str, str], ...] = (
+    ("codegen", "batched"),
+    ("batched", "event"),
+)
 
 
 @dataclass(frozen=True)

@@ -1,29 +1,48 @@
-"""The graph registry: load once, ship to workers by id.
+"""The graph registry: load once, ship to workers by reference.
 
 Graphs are registered with the service once and referenced by id in every
-job, so a 16-job batch on one graph serialises the CSR arrays a single
-time (``GraphRecord.payload`` caches the pickled bytes) and each pool
-worker deserialises them at most once per fingerprint (see
-:mod:`repro.service.worker`).  ``update`` swaps in a new snapshot of a
-dynamic graph under the same id; the fingerprint change is what
-invalidates cached results.
+job.  *How* a graph reaches a worker depends on the pool mode, and every
+shipping artifact is built lazily on first use:
+
+* **thread / inline pools** share the dispatcher's address space, so the
+  live :class:`CSRGraph` object ships directly — nothing is ever pickled
+  or copied for them.
+* **process pools** ship a :class:`~repro.graph.store.SharedGraphRef`:
+  on the first process-pool dispatch the record copies the CSR arrays into
+  one :mod:`multiprocessing.shared_memory` segment (keyed by
+  ``CSRGraph.fingerprint()``), and every worker process then attaches
+  zero-copy instead of unpickling its own replica.  When shared memory is
+  unavailable (or ``REPRO_DISABLE_SHM`` is set) the record falls back to
+  pickling the graph once and shipping the bytes, which workers
+  deserialise at most once per fingerprint (see
+  :mod:`repro.service.worker`).
+
+Segment lifecycle: :meth:`GraphRecord.release` unlinks — called by
+:meth:`GraphRegistry.unregister` and :meth:`GraphRegistry.close` (which
+``QueryService.shutdown`` invokes).  :meth:`GraphRegistry.update` swaps in
+a new snapshot under the same id; the *old* record may still be pinned by
+queued jobs, so its segment is unlinked by a ``weakref.finalize`` hook as
+soon as the last job drops it (and at interpreter exit at the latest).
+The fingerprint change on update is what invalidates cached results.
 """
 
 from __future__ import annotations
 
 import pickle
 import threading
+import weakref
 from dataclasses import dataclass, field
 
 from ..errors import ServiceError
 from ..graph.csr import CSRGraph
+from ..graph.store import GraphSegment, share_graph, shm_available
 
 __all__ = ["GraphRecord", "GraphRegistry"]
 
 
 @dataclass
 class GraphRecord:
-    """One registered graph plus its derived shipping artifacts."""
+    """One registered graph plus its lazily built shipping artifacts."""
 
     graph_id: str
     graph: CSRGraph
@@ -31,13 +50,70 @@ class GraphRecord:
     #: monotonically increasing per-id version (bumped by ``update``)
     version: int = 1
     _payload: bytes | None = field(default=None, repr=False)
+    _segment: "GraphSegment | None" = field(default=None, repr=False)
+    #: True once segment creation failed — don't retry every dispatch
+    _segment_failed: bool = field(default=False, repr=False)
+    _finalizer: "weakref.finalize | None" = field(default=None, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     @property
     def payload(self) -> bytes:
         """Pickled graph bytes, serialised once and reused per job."""
-        if self._payload is None:
-            self._payload = pickle.dumps(self.graph, protocol=-1)
-        return self._payload
+        with self._lock:
+            if self._payload is None:
+                self._payload = pickle.dumps(self.graph, protocol=-1)
+            return self._payload
+
+    @property
+    def shared(self) -> bool:
+        """True while this record owns a live shared-memory segment."""
+        with self._lock:
+            return self._segment is not None
+
+    def ship(self, mode: str):
+        """The payload one dispatch of this graph sends to a ``mode`` pool.
+
+        Thread/inline pools get the live object (zero copies, nothing is
+        pickled for them — ever).  Process pools get a shared-memory
+        reference, created on the first process-pool ship; the pickle
+        fallback covers platforms/graphs where the segment cannot be
+        built.
+        """
+        if mode != "process":
+            return self.graph
+        with self._lock:
+            if self._segment is not None:
+                return self._segment.ref
+            if not self._segment_failed and shm_available():
+                try:
+                    segment = share_graph(self.graph)
+                except Exception:
+                    self._segment_failed = True
+                else:
+                    self._segment = segment
+                    # belt and braces: if release() is never called (the
+                    # record was replaced by update() while jobs still
+                    # pinned it), unlink when the record is collected —
+                    # weakref.finalize also runs at interpreter exit
+                    self._finalizer = weakref.finalize(
+                        self, segment.unlink
+                    )
+                    return segment.ref
+            if self._payload is None:
+                self._payload = pickle.dumps(self.graph, protocol=-1)
+            return self._payload
+
+    def release(self) -> None:
+        """Unlink the shared segment (idempotent; pickle bytes stay)."""
+        with self._lock:
+            segment, self._segment = self._segment, None
+            finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if segment is not None:
+            segment.unlink()
 
 
 class GraphRegistry:
@@ -88,7 +164,9 @@ class GraphRegistry:
         """Replace the graph behind ``graph_id``; returns (old, new) prints.
 
         The caller (the service) is responsible for invalidating cache
-        entries keyed on the old fingerprint.
+        entries keyed on the old fingerprint.  The old record's segment is
+        *not* unlinked here — queued jobs pinned the record at submit time
+        and may still attach; its finalizer unlinks once they are done.
         """
         fingerprint = graph.fingerprint()
         with self._lock:
@@ -105,8 +183,18 @@ class GraphRegistry:
         return old, fingerprint
 
     def unregister(self, graph_id: str) -> None:
+        """Drop ``graph_id`` and unlink its shared segment, if any."""
         with self._lock:
-            self._records.pop(graph_id, None)
+            record = self._records.pop(graph_id, None)
+        if record is not None:
+            record.release()
+
+    def close(self) -> None:
+        """Unlink every live segment (service shutdown); keeps the records."""
+        with self._lock:
+            records = list(self._records.values())
+        for record in records:
+            record.release()
 
     def ids(self) -> tuple[str, ...]:
         with self._lock:

@@ -240,6 +240,19 @@ class QueryService:
         old_fp, _ = self._registry.update(graph_id, graph)
         return len(self._cache.invalidate_fingerprint(old_fp))
 
+    def unregister_graph(self, graph_id: str) -> int:
+        """Drop ``graph_id``: unlink its shared segment, evict its cache.
+
+        Jobs already queued against the graph keep the record pinned and
+        may still fail with a not-found attach — unregister is a statement
+        that the graph is gone, not a graceful drain.  Returns the number
+        of cache entries dropped.
+        """
+        record = self._registry.get(graph_id)
+        dropped = len(self._cache.invalidate_fingerprint(record.fingerprint))
+        self._registry.unregister(graph_id)
+        return dropped
+
     def invalidate_graph(self, graph_id: str) -> int:
         """Explicitly drop cached results for ``graph_id``'s snapshot."""
         record = self._registry.get(graph_id)
@@ -573,9 +586,9 @@ class QueryService:
                 or None
             )
         self._maybe_sample_verify(job)
-        payload = (
-            job.record.payload if self.mode == "process" else job.record.graph
-        )
+        # thread/inline: the live graph; process: a SharedGraphRef the
+        # worker attaches to (pickle bytes when shared memory is off)
+        payload = job.record.ship(self.mode)
         with self._cond:
             self._in_flight += 1
         # watch BEFORE the executor submit: inline futures complete (and
@@ -1154,6 +1167,9 @@ class QueryService:
             self._executor = None
         if executor is not None and self._owns_executor:
             executor.shutdown(wait=wait)
+        # all workers are gone (or externally owned and done with our
+        # jobs): unlink every shared-memory segment the registry created
+        self._registry.close()
 
     def __enter__(self) -> "QueryService":
         return self

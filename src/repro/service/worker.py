@@ -2,10 +2,15 @@
 
 ``run_job`` is the only function the service ever submits to an executor.
 It must stay a module-level callable (process pools pickle it by reference)
-and its arguments must be cheap to serialise: the graph travels either as
-the registry's pre-pickled payload bytes (process mode — pickled once per
-registration, deserialised once per worker process and fingerprint) or as
-the live :class:`CSRGraph` object (thread/inline modes — zero copies).
+and its arguments must be cheap to serialise.  The graph travels one of
+three ways, resolved here per worker process:
+
+* a :class:`~repro.graph.store.SharedGraphRef` (process mode, default):
+  the worker attaches to the registry's shared-memory segment and builds
+  zero-copy array views — no CSR bytes are ever unpickled or duplicated;
+* pickled payload bytes (process-mode fallback when shared memory is
+  unavailable) — deserialised at most once per worker and fingerprint;
+* the live :class:`CSRGraph` object (thread/inline modes — zero copies).
 
 Resilience hooks (both default-off and free when unused):
 
@@ -31,6 +36,7 @@ from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 from ..graph.csr import CSRGraph
+from ..graph.store import AttachedGraph, SharedGraphRef, attach_graph
 from ..resilience.faults import FaultInjector, FaultSpec, inject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,26 +46,53 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["run_job", "worker_graph_cache_info"]
 
-#: per-process deserialised graphs, keyed by (graph_id, fingerprint).  One
-#: entry per id: an updated snapshot (new fingerprint) replaces the old.
-_GRAPH_CACHE: dict[str, tuple[str, CSRGraph]] = {}
+#: per-process resolved graphs, keyed by graph_id.  One entry per id: an
+#: updated snapshot (new fingerprint) replaces the old.  The third slot
+#: holds the AttachedGraph keeping a shared-memory mapping alive, or None
+#: for graphs that arrived as pickle bytes / live objects.
+_GRAPH_CACHE: dict[str, tuple[str, CSRGraph, "AttachedGraph | None"]] = {}
 
 #: deserialisations performed by this process (observability for tests)
 _CACHE_FILLS = 0
 
+#: shared-memory attachments performed by this process
+_SHM_ATTACHES = 0
+
+
+def _cache_graph(
+    graph_id: str,
+    fingerprint: str,
+    graph: CSRGraph,
+    holder: "AttachedGraph | None",
+) -> None:
+    old = _GRAPH_CACHE.get(graph_id)
+    _GRAPH_CACHE[graph_id] = (fingerprint, graph, holder)
+    if old is not None and old[2] is not None:
+        # replaced an attached snapshot: release this process's mapping of
+        # the retired segment (the creator-side unlink already happened or
+        # will happen; close() frees our address space either way)
+        old[2].close()
+
 
 def _resolve_graph(
-    graph_id: str, fingerprint: str, payload: "bytes | CSRGraph"
+    graph_id: str,
+    fingerprint: str,
+    payload: "bytes | CSRGraph | SharedGraphRef",
 ) -> CSRGraph:
-    global _CACHE_FILLS
+    global _CACHE_FILLS, _SHM_ATTACHES
     if isinstance(payload, CSRGraph):
         return payload
     cached = _GRAPH_CACHE.get(graph_id)
     if cached is not None and cached[0] == fingerprint:
         return cached[1]
+    if isinstance(payload, SharedGraphRef):
+        attached = attach_graph(payload)
+        _SHM_ATTACHES += 1
+        _cache_graph(graph_id, fingerprint, attached.graph, attached)
+        return attached.graph
     graph = pickle.loads(payload)
-    _GRAPH_CACHE[graph_id] = (fingerprint, graph)
     _CACHE_FILLS += 1
+    _cache_graph(graph_id, fingerprint, graph, None)
     return graph
 
 
@@ -98,7 +131,7 @@ def _run_primary(
 def run_job(
     graph_id: str,
     fingerprint: str,
-    payload: "bytes | CSRGraph",
+    payload: "bytes | CSRGraph | SharedGraphRef",
     plan: "MatchingPlan",
     config: "SystemConfig",
     observe_run: bool = False,
@@ -157,4 +190,5 @@ def worker_graph_cache_info() -> dict:
         "pid": os.getpid(),
         "graphs": sorted(_GRAPH_CACHE),
         "fills": _CACHE_FILLS,
+        "attaches": _SHM_ATTACHES,
     }

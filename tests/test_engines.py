@@ -29,10 +29,12 @@ class TestRegistry:
         names = available_engines()
         assert "event" in names
         assert "batched" in names
+        assert "codegen" in names
 
     def test_get_engine_returns_singletons(self):
         assert get_engine("event") is get_engine("event")
         assert get_engine("batched") is get_engine("batched")
+        assert get_engine("codegen") is get_engine("codegen")
 
     def test_engine_names_match(self):
         for name in available_engines():
@@ -91,53 +93,77 @@ def _count_with(engine_name: str, graph, plan) -> SimReport:
     return report
 
 
-class TestEquivalence:
-    """Both backends must match the reference count on every pattern."""
+#: the full backend matrix — every test below must hold for all of them
+ENGINES = ("event", "batched", "codegen")
 
+#: the fast backends, safe to run against the larger graph fixtures
+FAST_ENGINES = ("batched", "codegen")
+
+
+class TestEquivalence:
+    """Every backend must match the reference count on every pattern."""
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("name", sorted(PATTERNS))
-    def test_batched_matches_reference_er(self, name, medium_er):
+    def test_matches_reference_er(self, engine, name, medium_er):
         plan = build_plan(PATTERNS[name])
         want = count_embeddings(medium_er, plan).embeddings
-        got = _count_with("batched", medium_er, plan).embeddings
+        got = _count_with(engine, medium_er, plan).embeddings
         assert got == want
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("name", sorted(PATTERNS))
-    def test_batched_matches_reference_skewed(self, name, skewed_graph):
+    def test_matches_reference_skewed(self, engine, name, skewed_graph):
         plan = build_plan(PATTERNS[name])
         want = count_embeddings(skewed_graph, plan).embeddings
-        got = _count_with("batched", skewed_graph, plan).embeddings
+        got = _count_with(engine, skewed_graph, plan).embeddings
         assert got == want
 
     @pytest.mark.parametrize("name", sorted(PATTERNS))
-    def test_event_matches_batched(self, name, small_er):
+    def test_all_engines_agree(self, name, small_er):
         plan = build_plan(PATTERNS[name])
-        ev = _count_with("event", small_er, plan).embeddings
-        ba = _count_with("batched", small_er, plan).embeddings
-        assert ev == ba
+        counts = {
+            engine: _count_with(engine, small_er, plan).embeddings
+            for engine in ENGINES
+        }
+        assert len(set(counts.values())) == 1, counts
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_random_graphs_triangle_family(self, seed):
+    def test_random_graphs_triangle_family(self, engine, seed):
         g = erdos_renyi(45, 7.0, seed=seed, name=f"er45-{seed}")
         for name in ("3CF", "4CF", "TT", "DIA"):
             plan = build_plan(PATTERNS[name])
             want = count_embeddings(g, plan).embeddings
-            assert _count_with("batched", g, plan).embeddings == want
+            assert _count_with(engine, g, plan).embeddings == want
 
-    def test_powerlaw_hub_graph(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_powerlaw_hub_graph(self, engine):
         g = powerlaw_graph(150, avg_degree=5.0, max_degree=60, seed=9,
                            triangle_boost=0.4, name="pl150")
         for name in sorted(PATTERNS):
             plan = build_plan(PATTERNS[name])
             want = count_embeddings(g, plan).embeddings
-            assert _count_with("batched", g, plan).embeddings == want
+            assert _count_with(engine, g, plan).embeddings == want
 
-    def test_empty_graph(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_graph(self, engine):
         from repro.graph import CSRGraph
 
         g = CSRGraph.empty(8)
         for name in ("3CF", "WEDGE"):
             plan = build_plan(PATTERNS[name])
-            assert _count_with("batched", g, plan).embeddings == 0
+            assert _count_with(engine, g, plan).embeddings == 0
+
+    def test_codegen_cycles_match_batched(self, medium_er):
+        """Same analytic aggregates → byte-identical cycle totals."""
+        for name in sorted(PATTERNS):
+            plan = build_plan(PATTERNS[name])
+            ba = _count_with("batched", medium_er, plan)
+            cg = _count_with("codegen", medium_er, plan)
+            assert cg.cycles == ba.cycles, name
+            assert cg.words_in == ba.words_in, name
+            assert cg.tasks == ba.tasks, name
 
 
 class TestBatchedReport:

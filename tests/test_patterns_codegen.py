@@ -1,4 +1,4 @@
-"""Task-list code generation and binary encoding tests."""
+"""Task-list code generation, binary encoding and kernel-cache tests."""
 
 import pytest
 
@@ -6,9 +6,16 @@ from repro.errors import PlanError
 from repro.patterns import PATTERNS, build_plan
 from repro.patterns.codegen import (
     TaskOp,
+    _decode_src,
+    _encode_src,
+    clear_kernel_cache,
+    compile_plan_kernel,
     compile_task_list,
     decode_task_op,
+    emit_plan_source,
     encode_task_op,
+    kernel_cache_info,
+    kernel_cache_key,
     render_task_list,
 )
 
@@ -80,3 +87,141 @@ class TestEncoding:
         )
         with pytest.raises(PlanError):
             encode_task_op(bad)
+
+
+class TestSrcEncodingBoundaries:
+    """The 4-bit source field: sentinel and width-limit behaviour."""
+
+    def test_none_maps_to_sentinel(self):
+        assert _encode_src(None) == 15
+        assert _decode_src(15) is None
+
+    @pytest.mark.parametrize("idx", [0, 7])
+    def test_stored_set_width_extremes_roundtrip(self, idx):
+        assert _decode_src(_encode_src(("S", idx))) == ("S", idx)
+
+    @pytest.mark.parametrize("idx", [0, 6])
+    def test_neighbour_width_extremes_roundtrip(self, idx):
+        assert _decode_src(_encode_src(("N", idx))) == ("N", idx)
+
+    def test_stored_set_eight_rejected(self):
+        # S-indices occupy codes 0-7; 8 would collide with N(u0)
+        with pytest.raises(PlanError, match="out of range"):
+            _encode_src(("S", 8))
+
+    def test_neighbour_seven_rejected(self):
+        # N-indices occupy codes 8-14; 7 would collide with the sentinel
+        with pytest.raises(PlanError, match="out of range"):
+            _encode_src(("N", 7))
+
+    @pytest.mark.parametrize("kind", ["S", "N"])
+    def test_negative_rejected(self, kind):
+        with pytest.raises(PlanError, match="out of range"):
+            _encode_src((kind, -1))
+
+    def test_codes_cover_the_field_without_overlap(self):
+        codes = {_encode_src(("S", i)) for i in range(8)}
+        codes |= {_encode_src(("N", i)) for i in range(7)}
+        codes.add(_encode_src(None))
+        assert codes == set(range(16))
+
+    def test_max_width_task_op_roundtrips(self):
+        op = TaskOp(
+            level=15, opcode="set_diff", src_a=("S", 7), src_b=("N", 6),
+            filter_lt=14, filter_gt=14, count_only=True, store=True,
+        )
+        assert decode_task_op(encode_task_op(op)) == op
+        assert encode_task_op(op) < (1 << 25)
+
+
+class TestKernelCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_kernel_cache()
+        yield
+        clear_kernel_cache()
+
+    def test_same_plan_hits(self):
+        plan = build_plan(PATTERNS["3CF"])
+        k1 = compile_plan_kernel(plan)
+        k2 = compile_plan_kernel(plan)
+        assert k1 is k2
+        info = kernel_cache_info()
+        assert info == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_equal_plans_share_a_kernel(self):
+        # two independently built (equal) plans must key identically
+        k1 = compile_plan_kernel(build_plan(PATTERNS["TT"]))
+        k2 = compile_plan_kernel(build_plan(PATTERNS["TT"]))
+        assert k1 is k2
+
+    def test_configs_share_kernels(self):
+        # SystemConfig knobs never reach the emitted source, so the cache
+        # key must not depend on them: one kernel serves every config
+        plan = build_plan(PATTERNS["3CF"])
+        key = kernel_cache_key(plan)
+        assert key == kernel_cache_key(plan)
+        from repro.core import xset_default
+
+        cfg_a = xset_default(engine="codegen")
+        cfg_b = xset_default(engine="codegen", num_pes=4, bitmap_width=64)
+        # the key is a pure function of the plan + labelledness; configs
+        # do not participate at all
+        assert kernel_cache_key(plan) == key
+        assert cfg_a != cfg_b  # the configs really do differ
+
+    def test_distinct_plans_miss(self):
+        compile_plan_kernel(build_plan(PATTERNS["3CF"]))
+        compile_plan_kernel(build_plan(PATTERNS["TT"]))
+        info = kernel_cache_info()
+        assert info["size"] == 2
+        assert info["misses"] == 2
+
+    def test_labelledness_is_part_of_the_key(self):
+        plan = build_plan(PATTERNS["3CF"])
+        k_plain = compile_plan_kernel(plan, use_labels=False)
+        k_label = compile_plan_kernel(plan, use_labels=True)
+        assert k_plain is not k_label
+        assert kernel_cache_info()["size"] == 2
+
+    def test_collection_mode_is_part_of_the_key(self):
+        a = build_plan(PATTERNS["DIA"])  # choose2 by default
+        b = build_plan(PATTERNS["DIA"], collection="enumerate")
+        assert kernel_cache_key(a) != kernel_cache_key(b)
+
+    def test_clear_resets_everything(self):
+        compile_plan_kernel(build_plan(PATTERNS["3CF"]))
+        clear_kernel_cache()
+        assert kernel_cache_info() == {"size": 0, "hits": 0, "misses": 0}
+
+
+class TestEmittedSource:
+    def test_single_bound_fuses_to_one_comparison(self):
+        # TT carries exactly one upper bound per bounded level: it must
+        # compile to a direct compare, never a reduce over one column
+        source = emit_plan_source(build_plan(PATTERNS["TT"]))
+        assert "cand < emb[owner, 1]" in source
+        assert ".min(axis=1)" not in source
+
+    def test_multi_bound_fuses_to_constant_column_reduce(self):
+        # 3CF level 2 is bounded by both u0 and u1 — the columns appear
+        # as a pattern-constant tuple
+        source = emit_plan_source(build_plan(PATTERNS["3CF"]))
+        assert "cand < emb[owner, 0]" in source  # level 1, single bound
+        assert "emb[:, (0, 1)].min(axis=1)[owner]" in source  # level 2
+
+    def test_level_loop_is_unrolled(self):
+        plan = build_plan(PATTERNS["4CF"])
+        source = emit_plan_source(plan)
+        for level in range(1, plan.stop_level + 1):
+            assert f"# -- level {level}:" in source
+        assert "for level" not in source  # nothing interpreted at runtime
+
+    def test_labels_only_emitted_when_requested(self):
+        plan = build_plan(PATTERNS["3CF"])
+        assert "labels" not in emit_plan_source(plan, use_labels=False)
+
+    def test_source_is_valid_python(self):
+        for name in ALL:
+            compile(emit_plan_source(build_plan(PATTERNS[name])),
+                    "<test>", "exec")
