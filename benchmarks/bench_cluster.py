@@ -1,0 +1,132 @@
+"""Cluster scaling: sharded scatter/gather vs a single shard.
+
+A triangle-heavy generated graph is registered on local clusters of 1, 2
+and 4 shards — each shard worker backed by a one-process pool, so *N*
+shards give the batch *N* worker processes — and the same pattern batch
+runs on each (caches off; every query recomputes).  Invariants:
+
+* merged counts are byte-identical across every shard count and equal to
+  the single-node engine's counts (exactly-once boundary accounting);
+* on a ≥4-core runner, 4 shards deliver ≥ 2.5x the count-throughput of
+  the 1-shard cluster.  On smaller machines the ratio is recorded in the
+  artifact without the assertion — one core cannot run four engines at
+  once.
+
+The machine-readable trajectory lands in ``BENCH_cluster.json``.
+"""
+
+import os
+import time
+
+from repro.analysis import format_table
+from repro.cluster import LocalCluster
+from repro.core.config import xset_default
+from repro.graph.generators import erdos_renyi
+from repro.patterns.pattern import PATTERNS
+from repro.patterns.plan import build_plan
+from repro.sim.host import run_on_soc
+
+from _common import emit, emit_json, once
+
+NODES, DEGREE, SEED = 1500, 30.0, 5
+#: triangle/clique-shaped batch (the workloads sharding is meant to scale)
+BATCH_PATTERNS = ("3CF", "TT")
+REPEATS = 3
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _run_all():
+    graph = erdos_renyi(NODES, DEGREE, seed=SEED, name=f"er{NODES}")
+    config = xset_default(engine="batched")
+    batch = [PATTERNS[name] for name in BATCH_PATTERNS] * REPEATS
+
+    reference = {
+        name: run_on_soc(
+            graph, build_plan(PATTERNS[name]), config
+        ).embeddings
+        for name in BATCH_PATTERNS
+    }
+
+    timings: dict[int, float] = {}
+    counts: dict[int, list[int]] = {}
+    for shards in SHARD_COUNTS:
+        with LocalCluster(
+            num_shards=shards,
+            config=config,
+            mode="process",
+            max_workers=1,
+        ) as cluster:
+            coord = cluster.coordinator
+            gid = coord.register_graph(graph)
+            # warm-up: spin up every worker process and ship the graph
+            coord.query(gid, batch[0], use_cache=False)
+            t0 = time.perf_counter()
+            counts[shards] = [
+                coord.query(gid, p, use_cache=False).embeddings
+                for p in batch
+            ]
+            timings[shards] = time.perf_counter() - t0
+    return {
+        "reference": reference,
+        "counts": counts,
+        "timings": timings,
+        "batch": [p.name for p in batch],
+        "cores": os.cpu_count() or 1,
+    }
+
+
+def test_cluster_scaling(benchmark):
+    r = once(benchmark, _run_all)
+    t1 = r["timings"][SHARD_COUNTS[0]]
+    expected = [r["reference"][name] for name in r["batch"]]
+
+    rows = []
+    speedups = {}
+    for shards in SHARD_COUNTS:
+        t = r["timings"][shards]
+        speedups[shards] = t1 / max(t, 1e-9)
+        rows.append((
+            f"{shards} shard(s)",
+            f"{len(r['batch'])} queries",
+            f"{t:.3f}s",
+            f"{speedups[shards]:.2f}x",
+            "yes" if r["counts"][shards] == expected else "NO",
+        ))
+    text = format_table(
+        ["cluster", "batch", "wall", "throughput vs 1 shard",
+         "counts exact"],
+        rows,
+        title=(
+            f"Cluster scaling — er{NODES} (avg deg {DEGREE}), "
+            f"{r['cores']} cores, process-mode shard workers"
+        ),
+    )
+    emit("cluster_scaling", text)
+    emit_json("cluster", {
+        "benchmark": "cluster_scaling",
+        "harness_invocation": (
+            "PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py "
+            "-q -s"
+        ),
+        "graph": {"nodes": NODES, "avg_degree": DEGREE, "seed": SEED},
+        "batch": r["batch"],
+        "cores": r["cores"],
+        "reference_counts": r["reference"],
+        "shards": [
+            {
+                "num_shards": shards,
+                "wall_seconds": round(r["timings"][shards], 6),
+                "throughput_vs_one_shard": round(speedups[shards], 3),
+                "counts_identical": r["counts"][shards] == expected,
+            }
+            for shards in SHARD_COUNTS
+        ],
+    })
+
+    # exactly-once semantics: every shard count reproduces the
+    # single-node counts, byte-identical
+    for shards in SHARD_COUNTS:
+        assert r["counts"][shards] == expected, shards
+    # scaling needs cores; assert the 2.5x bar only on multi-core runners
+    if r["cores"] >= 4:
+        assert speedups[4] >= 2.5, r["timings"]

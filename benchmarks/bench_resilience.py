@@ -24,7 +24,7 @@ from repro.patterns.pattern import PATTERNS
 from repro.resilience import FaultKind, FaultPlan, FaultSpec, ResilienceConfig
 from repro.service import QueryService
 
-from _common import BENCH_SCALE, emit, once
+from _common import BENCH_SCALE, emit, emit_json, once
 
 WORKLOADS = (
     ("PP", "3CF", "event"),
@@ -117,3 +117,30 @@ def test_resilience_overhead(benchmark):
         ),
     )
     emit("resilience_overhead", text)
+    emit_json("resilience", {
+        "benchmark": "resilience_overhead",
+        "harness_invocation": (
+            "PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_resilience.py -q -s"
+        ),
+        "workloads": [
+            {
+                "dataset": ds,
+                "pattern": pat,
+                "engine": engine,
+                "embeddings": disabled[0][(ds, pat, engine)].embeddings,
+                "wall_seconds": {
+                    "disabled": round(disabled[1][(ds, pat, engine)], 6),
+                    "default": round(default[1][(ds, pat, engine)], 6),
+                    "armed_null": round(armed[1][(ds, pat, engine)], 6),
+                },
+                "overhead_ratio_default": round(
+                    default[1][(ds, pat, engine)]
+                    / max(disabled[1][(ds, pat, engine)], 1e-9),
+                    3,
+                ),
+            }
+            for ds, pat, engine in WORKLOADS
+        ],
+        "counts_identical": True,
+    })

@@ -23,7 +23,7 @@ from repro.graph.generators import erdos_renyi
 from repro.patterns.pattern import PATTERNS
 from repro.service import QueryService
 
-from _common import emit, once
+from _common import emit, emit_json, once
 
 BATCH_PATTERNS = ("3CF", "4CF", "5CF", "TT", "CYC", "DIA", "WEDGE", "P3")
 GRAPH_SEEDS = (3, 9)
@@ -104,6 +104,26 @@ def test_service_throughput(benchmark):
         title="Query service — batch throughput vs sequential count()",
     )
     emit("service_throughput", text + "\n\n" + r["stats"])
+    emit_json("service", {
+        "benchmark": "service_throughput",
+        "harness_invocation": (
+            "PYTHONPATH=src python -m pytest benchmarks/bench_service.py "
+            "-q -s"
+        ),
+        "jobs": n,
+        "workers": r["workers"],
+        "wall_seconds": {
+            "sequential": round(r["t_seq"], 6),
+            "pooled": round(r["t_pool"], 6),
+            "cached": round(r["t_cache"], 6),
+        },
+        "pool_speedup": round(speedup, 3),
+        "cache_speedup": round(cache_speedup, 3),
+        "cache_hits": r["hits"],
+        "counts_identical": (
+            r["pooled"] == r["sequential"] == r["cached"]
+        ),
+    })
 
     # counts are byte-identical across every execution path
     assert r["pooled"] == r["sequential"]

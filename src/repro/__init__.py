@@ -17,6 +17,10 @@ Quickstart::
 
 from .errors import (
     CircuitOpenError,
+    ClusterError,
+    CommClosedError,
+    CommError,
+    CommTimeoutError,
     ConfigError,
     FaultInjectionError,
     GraphFormatError,
@@ -35,10 +39,14 @@ from .errors import (
     XSetError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CircuitOpenError",
+    "ClusterError",
+    "CommClosedError",
+    "CommError",
+    "CommTimeoutError",
     "ConfigError",
     "FaultInjectionError",
     "GraphFormatError",
@@ -76,6 +84,10 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "QueryService": "repro.service",
         "JobHandle": "repro.service",
         "JobStatus": "repro.service",
+        "Coordinator": "repro.cluster",
+        "LocalCluster": "repro.cluster",
+        "ShardWorker": "repro.cluster",
+        "ClusterHealth": "repro.cluster",
         "ResilienceConfig": "repro.resilience",
         "FaultPlan": "repro.resilience",
         "FaultSpec": "repro.resilience",

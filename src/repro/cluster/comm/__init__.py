@@ -1,0 +1,36 @@
+"""Pluggable cluster comm layer: transports speaking one framed protocol.
+
+Importing this package registers the built-in transports (``inproc`` and
+``tcp``); ``get_transport(name)`` instantiates one.  See
+:mod:`repro.cluster.comm.base` for the contract.
+"""
+
+from .base import (
+    Connection,
+    Handler,
+    Listener,
+    Transport,
+    available_transports,
+    decode_body,
+    encode_frame,
+    frame_size,
+    get_transport,
+    register_transport,
+)
+from .inproc import InprocTransport
+from .tcp import TCPTransport
+
+__all__ = [
+    "Connection",
+    "Handler",
+    "InprocTransport",
+    "Listener",
+    "TCPTransport",
+    "Transport",
+    "available_transports",
+    "decode_body",
+    "encode_frame",
+    "frame_size",
+    "get_transport",
+    "register_transport",
+]

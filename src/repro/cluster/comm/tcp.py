@@ -1,0 +1,213 @@
+"""TCP transport: length-prefixed pickle frames over asyncio streams.
+
+One background event-loop thread (daemon, started lazily, shared by every
+listener and connection in the process) owns all sockets.  The framing is
+an 8-byte big-endian length prefix followed by a pickle body — see
+:mod:`repro.cluster.comm.base` for the helpers and the size cap.
+
+Handlers are executed on a small thread pool, *not* on the event loop: a
+shard worker's ``query`` op blocks for the whole engine run, and parking
+it on the loop would serialise the cluster.  Handler exceptions travel
+back as ``("err", exc)`` frames and re-raise client-side, matching the
+in-process transport's propagation semantics.
+
+A request that times out poisons its connection (the reply may arrive
+mid-frame later), so the connection closes itself and the caller gets
+:class:`~repro.errors.CommTimeoutError`; reconnecting is the caller's
+policy (the coordinator's breakers handle exactly this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ...errors import CommClosedError, CommError, CommTimeoutError
+from .base import (
+    FRAME_HEADER,
+    Handler,
+    decode_body,
+    encode_frame,
+    frame_size,
+    register_transport,
+)
+
+__all__ = ["TCPTransport", "TCPListener", "TCPConnection"]
+
+#: worker threads per listener for blocking handler calls
+HANDLER_THREADS = 8
+
+_loop_lock = threading.Lock()
+_loop: asyncio.AbstractEventLoop | None = None
+
+
+def _get_loop() -> asyncio.AbstractEventLoop:
+    """The process-wide comm event loop (started on first use)."""
+    global _loop
+    with _loop_lock:
+        if _loop is None or _loop.is_closed():
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="repro-comm-loop", daemon=True
+            )
+            thread.start()
+            _loop = loop
+        return _loop
+
+
+def _run(coro, timeout: float | None = None):
+    """Run ``coro`` on the comm loop from a synchronous caller."""
+    future = asyncio.run_coroutine_threadsafe(coro, _get_loop())
+    try:
+        return future.result(timeout)
+    except TimeoutError:
+        future.cancel()
+        raise CommTimeoutError(
+            f"comm request did not complete within {timeout}s"
+        ) from None
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Any:
+    header = await reader.readexactly(FRAME_HEADER.size)
+    body = await reader.readexactly(frame_size(header))
+    return decode_body(body)
+
+
+class TCPListener:
+    def __init__(self, handler: Handler, name: str = "") -> None:
+        self._handler = handler
+        self._pool = ThreadPoolExecutor(
+            max_workers=HANDLER_THREADS,
+            thread_name_prefix=f"comm-{name or 'listener'}",
+        )
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._closed = False
+        self._server: asyncio.AbstractServer = _run(
+            asyncio.start_server(self._serve, host="127.0.0.1", port=0)
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        self._address = f"tcp://{host}:{port}"
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                payload = await _read_frame(reader)
+                try:
+                    result = await loop.run_in_executor(
+                        self._pool, self._handler, payload
+                    )
+                    reply = ("ok", result)
+                except Exception as exc:
+                    reply = ("err", exc)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _shut() -> None:
+            self._server.close()
+            # abort established connections too: a "killed" shard must
+            # look dead to peers mid-conversation, not just to new dials
+            for writer in list(self._writers):
+                writer.close()
+            await self._server.wait_closed()
+
+        _run(_shut(), timeout=5.0)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class TCPConnection:
+    def __init__(self, address: str) -> None:
+        if not address.startswith("tcp://"):
+            raise CommError(f"not a tcp:// address: {address!r}")
+        host, _, port = address[len("tcp://"):].rpartition(":")
+        try:
+            self._reader, self._writer = _run(
+                asyncio.open_connection(host, int(port)), timeout=10.0
+            )
+        except (ConnectionError, OSError) as exc:
+            raise CommClosedError(
+                f"cannot connect to {address}: {exc}"
+            ) from exc
+        self._address = address
+        self._lock = threading.Lock()  # one request in flight at a time
+        self._closed = False
+
+    async def _roundtrip(self, payload: Any) -> Any:
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+        return await _read_frame(self._reader)
+
+    def request(self, payload: Any, timeout: float | None = None) -> Any:
+        with self._lock:
+            if self._closed:
+                raise CommClosedError("connection is closed")
+            try:
+                status, value = _run(self._roundtrip(payload), timeout)
+            except CommTimeoutError:
+                # the reply may still arrive mid-frame later; this stream
+                # can never be trusted again
+                self.close()
+                raise
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                self.close()
+                raise CommClosedError(
+                    f"peer at {self._address} is gone: {exc!r}"
+                ) from exc
+        if status == "err":
+            raise value
+        return value
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        writer = self._writer
+
+        async def _close() -> None:
+            writer.close()
+
+        try:
+            _run(_close(), timeout=5.0)
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+
+class TCPTransport:
+    """Transport over localhost/remote TCP (see module docstring)."""
+
+    def listen(self, handler: Handler, name: str = "") -> TCPListener:
+        return TCPListener(handler, name)
+
+    def connect(self, address: str) -> TCPConnection:
+        return TCPConnection(address)
+
+
+register_transport("tcp", TCPTransport)

@@ -1,0 +1,506 @@
+"""The coordinator: shard registration, scatter/gather, cluster health.
+
+``register_graph`` cuts a CSR graph into contiguous vertex-range shards
+(:mod:`repro.cluster.partition`) and ships each induced subgraph — with
+its owned local root range — to one :class:`ShardWorker`.  A query then
+scatters as per-shard root-restricted subqueries (fanned out on a thread
+pool, one in-flight request per shard connection) and the replies gather
+through :func:`repro.cluster.merge.merge_reports`.
+
+Resilience reuses the service layer's own machinery at cluster scope:
+
+* every shard gets a :class:`~repro.resilience.BreakerBoard` circuit —
+  comm failures and timeouts trip it, and an open breaker skips the
+  shard without burning a timeout on a peer known to be down;
+* a dead or hung shard *degrades* the query instead of failing it: the
+  merged report carries ``notes["cluster"]["partial"] = True`` plus the
+  failed shard names, and only a query with **zero** surviving shards
+  raises :class:`~repro.errors.ClusterError`;
+* :meth:`Coordinator.health` gathers per-shard
+  :class:`~repro.resilience.HealthReport`\\ s into a
+  :class:`ClusterHealth` whose state is the worst shard state, forced to
+  at least ``DEGRADED`` while any shard is unreachable or any breaker is
+  non-closed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..core.config import SystemConfig, xset_default
+from ..errors import ClusterError, CommError
+from ..graph.csr import CSRGraph
+from ..obs import MetricsRegistry, Tracer
+from ..patterns.plan import build_plan
+from ..resilience import BreakerBoard, HealthReport, HealthState
+from .comm.base import Connection, Transport, get_transport
+from .merge import merge_reports
+from .partition import make_shards
+from .worker import ShardWorker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..patterns.pattern import Pattern
+    from ..resilience.breaker import BreakerSnapshot
+    from ..sim.report import SimReport
+
+__all__ = ["Coordinator", "ClusterHealth", "LocalCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterHealth:
+    """Aggregated cluster condition (per-shard reports + comm breakers)."""
+
+    state: HealthState
+    #: shard name → its service's health report, or None if unreachable
+    shards: "Mapping[str, HealthReport | None]" = field(default_factory=dict)
+    #: coordinator-side comm breaker snapshots, keyed by shard name
+    breakers: "Mapping[str, BreakerSnapshot]" = field(default_factory=dict)
+
+    @property
+    def dead(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(n for n, r in self.shards.items() if r is None)
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster health: {self.state.name.lower()} "
+            f"({len(self.shards) - len(self.dead)}/{len(self.shards)} "
+            f"shards reachable)"
+        ]
+        for name in sorted(self.shards):
+            report = self.shards[name]
+            if report is None:
+                lines.append(f"  {name}: UNREACHABLE")
+                continue
+            lines.append(
+                f"  {name}: {report.state.name.lower()}, queue "
+                f"{report.queue_depth}/{report.queue_limit}, in flight "
+                f"{report.in_flight}"
+            )
+        for name, snap in sorted(self.breakers.items()):
+            if snap.state != "closed":
+                lines.append(f"  breaker[{name}]: {snap.state}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _ShardBinding:
+    """Coordinator-side record of one connected shard."""
+
+    name: str
+    address: str
+    conn: Connection
+
+
+@dataclass(frozen=True)
+class _ShardPlacement:
+    """Where one slice of a registered graph lives."""
+
+    shard: str
+    lo: int
+    hi: int
+    local_lo: int
+    local_hi: int
+    halo_hops: int
+
+    @property
+    def owned(self) -> int:
+        return self.hi - self.lo
+
+
+class Coordinator:
+    """Scatter/gather front-end over a set of shard workers."""
+
+    def __init__(
+        self,
+        shards: Sequence[tuple[str, str]],
+        transport: "Transport | str",
+        config: SystemConfig | None = None,
+        *,
+        request_timeout: float = 120.0,
+        observability: bool = False,
+        breaker_failure_threshold: int = 2,
+        breaker_recovery_seconds: float = 30.0,
+    ) -> None:
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard")
+        self.config = config or xset_default()
+        self.transport = (
+            get_transport(transport)
+            if isinstance(transport, str)
+            else transport
+        )
+        self.request_timeout = request_timeout
+        self._shards: list[_ShardBinding] = [
+            _ShardBinding(
+                name=name, address=addr, conn=self.transport.connect(addr)
+            )
+            for name, addr in shards
+        ]
+        #: graph_id → per-shard placements (order matches self._shards)
+        self._graphs: dict[str, list[_ShardPlacement]] = {}
+        self._breakers = BreakerBoard(
+            failure_threshold=breaker_failure_threshold,
+            recovery_seconds=breaker_recovery_seconds,
+            half_open_probes=1,
+        )
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge(
+            "repro_cluster_shards", "shard workers in this cluster"
+        ).set(len(self._shards))
+        self._tracer = Tracer() if observability else None
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._shards),
+            thread_name_prefix="cluster-scatter",
+        )
+        self._shutdown = False
+
+    # -- internals ---------------------------------------------------------
+
+    def _span(self, name: str, **attrs):
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.span(name, **attrs)
+
+    def _call(self, binding: _ShardBinding, payload: dict):
+        """One breaker-guarded request to one shard."""
+        breaker = self._breakers.for_engine(binding.name)
+        if not breaker.allow():
+            raise ClusterError(
+                f"shard {binding.name!r} breaker is open "
+                f"(recent comm failures)"
+            )
+        try:
+            value = binding.conn.request(
+                payload, timeout=self.request_timeout
+            )
+        except CommError as exc:
+            breaker.record_failure(type(exc).__name__)
+            self.metrics.counter(
+                "repro_cluster_shard_failures_total",
+                "scatter requests lost to comm failures",
+            ).inc()
+            raise
+        breaker.record_success()
+        return value
+
+    def _scatter(
+        self, payloads: "list[tuple[_ShardBinding, dict]]"
+    ) -> "list[tuple[_ShardBinding, object, BaseException | None]]":
+        """Fan requests out; gather ``(binding, value, error)`` triples."""
+        futures = [
+            (binding, self._pool.submit(self._call, binding, payload))
+            for binding, payload in payloads
+        ]
+        results = []
+        for binding, future in futures:
+            try:
+                results.append((binding, future.result(), None))
+            except BaseException as exc:
+                results.append((binding, None, exc))
+        return results
+
+    def _placements(self, graph_id: str) -> list[_ShardPlacement]:
+        placements = self._graphs.get(graph_id)
+        if placements is None:
+            raise ClusterError(
+                f"unknown cluster graph id {graph_id!r}; registered: "
+                f"{', '.join(sorted(self._graphs)) or '<none>'}"
+            )
+        return placements
+
+    # -- graph lifecycle ---------------------------------------------------
+
+    def register_graph(
+        self, graph: CSRGraph, graph_id: str | None = None
+    ) -> str:
+        """Shard ``graph`` across the workers; returns the cluster id."""
+        gid = graph_id or graph.name
+        if gid in self._graphs:
+            raise ClusterError(
+                f"cluster graph id {gid!r} already registered"
+            )
+        with self._span("cluster.register", graph_id=gid):
+            specs = make_shards(
+                graph,
+                num_shards=len(self._shards),
+                halo_hops=self.config.cluster_halo_hops,
+            )
+            payloads = [
+                (
+                    binding,
+                    {
+                        "op": "register",
+                        "graph_id": gid,
+                        "graph": spec.graph,
+                        "local_lo": spec.local_lo,
+                        "local_hi": spec.local_hi,
+                    },
+                )
+                for binding, spec in zip(self._shards, specs)
+            ]
+            results = self._scatter(payloads)
+        failed = [b.name for b, _, exc in results if exc is not None]
+        if failed:
+            # registration is all-or-nothing: roll back the survivors so
+            # no shard holds a slice of a graph the cluster never owned
+            for binding, _, exc in results:
+                if exc is None:
+                    try:
+                        self._call(
+                            binding, {"op": "unregister", "graph_id": gid}
+                        )
+                    except Exception:
+                        pass
+            raise ClusterError(
+                f"failed to register {gid!r} on shard(s) "
+                f"{', '.join(failed)}"
+            )
+        self._graphs[gid] = [
+            _ShardPlacement(
+                shard=binding.name,
+                lo=spec.lo,
+                hi=spec.hi,
+                local_lo=spec.local_lo,
+                local_hi=spec.local_hi,
+                halo_hops=spec.halo_hops,
+            )
+            for binding, spec in zip(self._shards, specs)
+        ]
+        return gid
+
+    def unregister_graph(self, graph_id: str) -> None:
+        """Drop ``graph_id`` on every reachable shard."""
+        self._placements(graph_id)
+        payloads = [
+            (binding, {"op": "unregister", "graph_id": graph_id})
+            for binding in self._shards
+        ]
+        self._scatter(payloads)  # best effort; dead shards are tolerated
+        del self._graphs[graph_id]
+
+    def graphs(self) -> tuple[str, ...]:
+        return tuple(sorted(self._graphs))
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        graph_id: str,
+        pattern: "Pattern",
+        *,
+        induced: bool | None = None,
+        engine: str | None = None,
+        config: SystemConfig | None = None,
+        use_cache: bool = True,
+    ) -> "SimReport":
+        """Scatter one pattern query; gather the merged cluster report.
+
+        Shards that fail (comm error, timeout, open breaker) degrade the
+        result — ``report.notes["cluster"]`` flags the partial merge and
+        names them.  Only a fully failed scatter raises.
+        """
+        placements = self._placements(graph_id)
+        cfg = config or self.config
+        plan = build_plan(pattern, induced=induced)
+        halo = min(p.halo_hops for p in placements)
+        if plan.stop_level > halo:
+            raise ClusterError(
+                f"pattern {pattern.name!r} needs a {plan.stop_level}-hop "
+                f"halo but {graph_id!r} was sharded with halo_hops={halo}; "
+                f"re-register with cluster_halo_hops >= {plan.stop_level}"
+            )
+        by_name = {b.name: b for b in self._shards}
+        targets = [
+            (by_name[p.shard], p) for p in placements if p.owned > 0
+        ]
+        self.metrics.counter(
+            "repro_cluster_queries_total", "cluster queries accepted"
+        ).inc()
+        with self._span(
+            "cluster.query",
+            graph_id=graph_id,
+            pattern=pattern.name,
+            fan_out=len(targets),
+        ):
+            results = self._scatter(
+                [
+                    (
+                        binding,
+                        {
+                            "op": "query",
+                            "graph_id": graph_id,
+                            "pattern": pattern,
+                            "induced": induced,
+                            "engine": engine,
+                            "config": config,
+                            "use_cache": use_cache,
+                            "timeout": self.request_timeout,
+                        },
+                    )
+                    for binding, _ in targets
+                ]
+            )
+        ok = [(b, report) for b, report, exc in results if exc is None]
+        failed = {
+            b.name: repr(exc) for b, _, exc in results if exc is not None
+        }
+        if not ok:
+            raise ClusterError(
+                f"query {pattern.name!r} on {graph_id!r} failed on every "
+                f"shard: {failed}"
+            )
+        merged = merge_reports(
+            [report for _, report in ok],
+            graph_name=graph_id,
+            pattern_name=pattern.name,
+        )
+        merged.config_name = cfg.name
+        merged.notes["cluster"] = {
+            "shards": len(placements),
+            "queried": len(targets),
+            "ok": len(ok),
+            "partial": bool(failed),
+            "failed_shards": sorted(failed),
+            "failures": failed,
+        }
+        if failed:
+            self.metrics.counter(
+                "repro_cluster_partial_results_total",
+                "merged results missing at least one shard",
+            ).inc()
+        return merged
+
+    def count(self, graph_id: str, pattern: "Pattern", **kwargs) -> int:
+        """Cluster-wide embedding count (raises on partial results)."""
+        report = self.query(graph_id, pattern, **kwargs)
+        if report.notes["cluster"]["partial"]:
+            raise ClusterError(
+                f"partial cluster result for {pattern.name!r} on "
+                f"{graph_id!r}: shards "
+                f"{report.notes['cluster']['failed_shards']} failed"
+            )
+        return report.embeddings
+
+    # -- health / lifecycle ------------------------------------------------
+
+    def health(self) -> ClusterHealth:
+        """Gather per-shard health; aggregate to one cluster state."""
+        results = self._scatter(
+            [(b, {"op": "health"}) for b in self._shards]
+        )
+        shards: dict[str, "HealthReport | None"] = {}
+        worst = HealthState.HEALTHY
+        any_dead = False
+        for binding, report, exc in results:
+            if exc is not None:
+                shards[binding.name] = None
+                any_dead = True
+                continue
+            shards[binding.name] = report
+            if report.state.value > worst.value:
+                worst = report.state
+        snapshots = self._breakers.snapshots()
+        breaker_open = any(s.state != "closed" for s in snapshots.values())
+        if (any_dead or breaker_open) and worst is HealthState.HEALTHY:
+            worst = HealthState.DEGRADED
+        return ClusterHealth(
+            state=worst, shards=shards, breakers=snapshots
+        )
+
+    def shutdown(self, stop_workers: bool = True) -> None:
+        """Close connections (optionally stopping the workers first)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if stop_workers:
+            self._scatter(
+                [(b, {"op": "shutdown"}) for b in self._shards]
+            )
+        for binding in self._shards:
+            binding.conn.close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coordinator({len(self._shards)} shards, "
+            f"graphs={sorted(self._graphs)})"
+        )
+
+
+class LocalCluster:
+    """Workers + coordinator in one process — the cluster's ``localhost``.
+
+    Spins up ``num_shards`` :class:`ShardWorker`\\ s on the chosen
+    transport and a :class:`Coordinator` over them.  ``mode`` selects
+    each worker's service pool: ``inline`` for deterministic tests,
+    ``process`` to give every shard its own OS process (how the scaling
+    benchmark runs).  :meth:`kill_shard` is the chaos hook; a killed
+    shard is still resource-reclaimed by :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        config: SystemConfig | None = None,
+        *,
+        transport: str = "inproc",
+        mode: str = "inline",
+        max_workers: int | None = None,
+        observability: bool = False,
+        request_timeout: float = 120.0,
+    ) -> None:
+        self.config = config or xset_default()
+        if num_shards is None:
+            num_shards = self.config.cluster_shards or 2
+        if num_shards < 1:
+            raise ClusterError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.transport_name = transport
+        tr = get_transport(transport)
+        self.workers = [
+            ShardWorker(
+                f"shard{i}",
+                tr,
+                self.config,
+                mode=mode,
+                max_workers=max_workers,
+            )
+            for i in range(num_shards)
+        ]
+        self.coordinator = Coordinator(
+            [(w.name, w.address) for w in self.workers],
+            tr,
+            self.config,
+            observability=observability,
+            request_timeout=request_timeout,
+        )
+
+    def kill_shard(self, index: int) -> str:
+        """Chaos: make one shard unreachable; returns its name."""
+        worker = self.workers[index]
+        worker.kill()
+        return worker.name
+
+    def shutdown(self) -> None:
+        """Stop everything; always reclaims shm, even for killed shards."""
+        self.coordinator.shutdown(stop_workers=True)
+        for worker in self.workers:
+            worker.force_close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

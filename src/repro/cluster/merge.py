@@ -1,0 +1,67 @@
+"""Gather-side report merging: shard reports → one cluster report.
+
+Counts (embeddings, tasks, set ops, comparisons, words, DRAM traffic,
+cache hits/misses) are *work* and sum across shards.  Cycles and wall
+time are *makespan* and take the maximum — the shards ran in parallel,
+so the cluster is as slow as its slowest shard.  Utilisation-bearing
+fields (``siu_busy_cycles``, ``num_sius``) sum, which keeps the derived
+``siu_utilization`` a system-wide mean over every SIU in the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ClusterError
+from ..sim.report import SimReport
+
+__all__ = ["merge_reports"]
+
+#: fields that add up (work done somewhere is work done)
+_SUM_FIELDS = (
+    "embeddings",
+    "tasks",
+    "set_ops",
+    "comparisons",
+    "words_in",
+    "words_out",
+    "siu_busy_cycles",
+    "num_sius",
+    "private_hits",
+    "private_misses",
+    "shared_hits",
+    "shared_misses",
+    "dram_bytes",
+)
+
+#: fields where the cluster is as slow/deep as its worst shard
+_MAX_FIELDS = (
+    "cycles",
+    "host_cycles",
+    "wall_seconds",
+    "peak_active_task_sets",
+)
+
+
+def merge_reports(
+    reports: Sequence[SimReport],
+    graph_name: str = "",
+    pattern_name: str = "",
+) -> SimReport:
+    """Fold per-shard reports into one cluster-level :class:`SimReport`."""
+    if not reports:
+        raise ClusterError("cannot merge zero shard reports")
+    merged = SimReport(
+        config_name=reports[0].config_name,
+        graph_name=graph_name or reports[0].graph_name,
+        pattern_name=pattern_name or reports[0].pattern_name,
+        frequency_ghz=reports[0].frequency_ghz,
+        num_sius=0,  # accumulator start (the dataclass default is 1)
+    )
+    for report in reports:
+        for name in _SUM_FIELDS:
+            setattr(merged, name, getattr(merged, name) + getattr(report, name))
+        for name in _MAX_FIELDS:
+            setattr(merged, name, max(getattr(merged, name), getattr(report, name)))
+        merged.per_pe_busy.extend(report.per_pe_busy)
+    return merged

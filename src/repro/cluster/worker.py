@@ -1,0 +1,176 @@
+"""Shard worker: one :class:`QueryService` behind a comm listener.
+
+A :class:`ShardWorker` owns a full, regular query service — pool, graph
+registry (with shared-memory shipping), result cache, resilience — and
+answers the cluster protocol over whatever transport it was given.  It
+knows nothing about *how* the graph was sharded: the coordinator ships
+each shard's induced subgraph plus the local owned root range, and every
+``query`` op runs root-restricted to that range, so the worker's counts
+are exactly "embeddings rooted in the vertices this shard owns".
+
+Ops (payload ``{"op": ..., ...}`` → reply value):
+
+``ping``        liveness probe → ``"pong"``
+``register``    shard subgraph + owned local range → graph id
+``unregister``  drop one shard graph (unlinks its shm segment)
+``query``       pattern/config → root-restricted :class:`SimReport`
+``health``      the underlying service's :class:`HealthReport`
+``stats``       small dict (jobs run, cache hits, mode, pid)
+``shutdown``    stop the service, close the listener → ``True``
+
+:meth:`kill` simulates a crash for chaos tests: the listener drops dead
+(peers see :class:`~repro.errors.CommClosedError`) but the Python state
+stays reachable so :meth:`force_close` can still unlink shared-memory
+segments — the in-process stand-in for an external janitor cleaning up
+after a dead host.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.config import SystemConfig
+from ..errors import ClusterError
+from ..service.service import QueryService
+from .comm.base import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import ResilienceConfig
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One cluster shard: a query service exposed over a transport."""
+
+    def __init__(
+        self,
+        name: str,
+        transport: Transport,
+        config: SystemConfig | None = None,
+        *,
+        mode: str = "inline",
+        max_workers: int | None = None,
+        observability: bool = False,
+        resilience: "ResilienceConfig | None" = None,
+    ) -> None:
+        self.name = name
+        self.service = QueryService(
+            config,
+            mode=mode,
+            max_workers=max_workers,
+            observability=observability,
+            resilience=resilience,
+        )
+        #: graph_id → owned local root range ``[lo, hi)``
+        self._owned: dict[str, tuple[int, int]] = {}
+        self._queries = 0
+        self._killed = False
+        self._closed = False
+        self._listener = transport.listen(self._handle, name=name)
+
+    @property
+    def address(self) -> str:
+        return self._listener.address
+
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    # -- protocol ----------------------------------------------------------
+
+    def _handle(self, payload: Any) -> Any:
+        if not isinstance(payload, dict) or "op" not in payload:
+            raise ClusterError(f"malformed cluster request: {payload!r}")
+        op = payload["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ClusterError(f"unknown cluster op {op!r}")
+        return handler(payload)
+
+    def _op_ping(self, payload: dict) -> str:
+        return "pong"
+
+    def _op_register(self, payload: dict) -> str:
+        graph_id = self.service.register_graph(
+            payload["graph"], payload["graph_id"]
+        )
+        self._owned[graph_id] = (
+            int(payload["local_lo"]),
+            int(payload["local_hi"]),
+        )
+        return graph_id
+
+    def _op_unregister(self, payload: dict) -> int:
+        graph_id = payload["graph_id"]
+        dropped = self.service.unregister_graph(graph_id)
+        self._owned.pop(graph_id, None)
+        return dropped
+
+    def _op_query(self, payload: dict):
+        graph_id = payload["graph_id"]
+        owned = self._owned.get(graph_id)
+        if owned is None:
+            raise ClusterError(
+                f"shard {self.name!r} has no registered shard graph "
+                f"{graph_id!r}"
+            )
+        handle = self.service.submit(
+            graph_id,
+            payload["pattern"],
+            induced=payload.get("induced"),
+            engine=payload.get("engine"),
+            config=payload.get("config"),
+            use_cache=payload.get("use_cache", True),
+            root_range=owned,
+        )
+        report = handle.result(timeout=payload.get("timeout"))
+        self._queries += 1
+        # profiles carry span objects that may not pickle across the wire
+        report.profile = None
+        return report
+
+    def _op_health(self, payload: dict):
+        return self.service.health()
+
+    def _op_stats(self, payload: dict) -> dict:
+        import os
+
+        return {
+            "name": self.name,
+            "queries": self._queries,
+            "graphs": list(self.service.graphs()),
+            "mode": self.service.mode,
+            "pid": os.getpid(),
+        }
+
+    def _op_shutdown(self, payload: dict) -> bool:
+        self.close()
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def kill(self) -> None:
+        """Chaos: drop dead on the wire (state stays for force_close)."""
+        self._killed = True
+        self._listener.close()
+
+    def close(self) -> None:
+        """Graceful stop: close the listener, drain and shut the service."""
+        if self._closed:
+            return
+        self._closed = True
+        self._listener.close()
+        self.service.shutdown()
+
+    def force_close(self) -> None:
+        """Release resources of a live *or killed* worker (shm cleanup)."""
+        self._closed = True
+        self._listener.close()
+        self.service.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "killed" if self._killed else (
+            "closed" if self._closed else "live"
+        )
+        return f"ShardWorker({self.name!r}, {self.address}, {state})"

@@ -60,10 +60,21 @@ class SystemConfig:
     #: timing) or "codegen" (plan-compiled NumPy kernels, same counts and
     #: timing model as batched) — see repro.engine for the registry
     engine: str = "event"
+    #: number of query-cluster shards (repro.cluster); 0 = single node,
+    #: no cluster layer involved
+    cluster_shards: int = 0
+    #: halo depth replicated around each shard's owned vertex range.  Must
+    #: be >= the deepest plan's stop level for exact per-root counts; the
+    #: coordinator validates this per query.
+    cluster_halo_hops: int = 4
 
     def __post_init__(self) -> None:
         if self.num_pes < 1 or self.sius_per_pe < 1:
             raise ConfigError("PE/SIU counts must be positive")
+        if self.cluster_shards < 0:
+            raise ConfigError("cluster_shards must be >= 0")
+        if self.cluster_halo_hops < 1:
+            raise ConfigError("cluster_halo_hops must be >= 1")
         if self.segment_width & (self.segment_width - 1):
             raise ConfigError("segment_width must be a power of two")
         if self.root_partition not in ("round-robin", "degree-balanced"):

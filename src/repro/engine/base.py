@@ -36,6 +36,8 @@ from typing import TYPE_CHECKING, Callable
 from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from ..core.config import SystemConfig
     from ..graph.csr import CSRGraph
     from ..patterns.plan import MatchingPlan
@@ -66,11 +68,15 @@ class Engine(ABC):
         graph: "CSRGraph",
         plan: "MatchingPlan",
         config: "SystemConfig",
+        roots: "np.ndarray | None" = None,
     ) -> "SimReport":
         """Execute the workload and return the metrics report.
 
         ``report.embeddings`` must equal the software reference count for
-        any engine; timing fields are engine-specific models.
+        any engine; timing fields are engine-specific models.  ``roots``
+        optionally restricts the search to embeddings rooted at the given
+        vertices (the cluster layer's partitioned matching relies on
+        this); ``None`` means every vertex roots a search tree.
         """
 
 

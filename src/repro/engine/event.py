@@ -40,6 +40,7 @@ class EventEngine(Engine):
         graph: "CSRGraph",
         plan: "MatchingPlan",
         config: "SystemConfig",
+        roots=None,
     ) -> "SimReport":
         from ..sim.host import HostModel
 
@@ -52,7 +53,7 @@ class EventEngine(Engine):
         with _obs.span(
             "engine.event", graph=graph.name, pattern=plan.pattern.name
         ):
-            report = HostModel(config).run(graph, plan)
+            report = HostModel(config).run(graph, plan, roots=roots)
         if inj is not None:
             inj.corrupt("engine.event", report)
         return report

@@ -81,6 +81,22 @@ class FaultInjectionError(ServiceError):
     """A fault plan or spec is malformed (resilience test harness)."""
 
 
+class ClusterError(ServiceError):
+    """The sharded query cluster could not complete an operation."""
+
+
+class CommError(ClusterError):
+    """A cluster comm-layer failure (transport, framing, addressing)."""
+
+
+class CommClosedError(CommError):
+    """The peer is gone: connection refused, reset or listener closed."""
+
+
+class CommTimeoutError(CommError):
+    """A cluster request did not complete within its timeout."""
+
+
 class InjectedCrashError(WorkerCrashError):
     """A deterministic injected worker crash (chaos testing).
 

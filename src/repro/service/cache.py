@@ -37,6 +37,10 @@ class CacheKey(NamedTuple):
     fingerprint: str
     pattern_key: tuple
     config_key: tuple
+    #: ``(lo, hi)`` when the query was restricted to a root-vertex range
+    #: (cluster shard subqueries); None for whole-graph queries.  Part of
+    #: the key because a root-restricted count is a different result.
+    root_key: "tuple[int, int] | None" = None
 
     def with_fingerprint(self, fingerprint: str) -> "CacheKey":
         """The same query keyed against an updated graph snapshot."""

@@ -178,6 +178,9 @@ class Job:
     span: Any = None
     #: open ``service.queued`` child span (closed at first dispatch)
     queued_span: Any = None
+    #: half-open root-vertex range ``[lo, hi)`` restricting the search to
+    #: embeddings rooted there (cluster shard subqueries); None = all roots
+    root_range: "tuple[int, int] | None" = None
     #: original engine when a breaker / crash-exhaustion rerouted the job
     rerouted_from: str | None = None
     #: cross-check engine sampled for this job (resilience layer)

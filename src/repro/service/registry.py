@@ -121,6 +121,14 @@ class GraphRegistry:
 
     def __init__(self) -> None:
         self._records: dict[str, GraphRecord] = {}
+        #: weak refs to records replaced by :meth:`update` whose segments
+        #: may still be pinned by queued jobs.  Weak so the per-record GC
+        #: finalizer still unlinks as soon as the last job drops one, but
+        #: kept so :meth:`close` can unlink survivors deterministically —
+        #: without this, a graph updated (or sharded by the cluster layer)
+        #: and then unregistered mid-query would leave its retired segment
+        #: in /dev/shm until interpreter exit.
+        self._retired: list["weakref.ref[GraphRecord]"] = []
         self._lock = threading.Lock()
 
     def register(self, graph: CSRGraph, graph_id: str | None = None) -> str:
@@ -174,6 +182,8 @@ class GraphRegistry:
             if record is None:
                 raise ServiceError(f"unknown graph id {graph_id!r}")
             old = record.fingerprint
+            self._retired = [r for r in self._retired if r() is not None]
+            self._retired.append(weakref.ref(record))
             self._records[graph_id] = GraphRecord(
                 graph_id=graph_id,
                 graph=graph,
@@ -190,10 +200,17 @@ class GraphRegistry:
             record.release()
 
     def close(self) -> None:
-        """Unlink every live segment (service shutdown); keeps the records."""
+        """Unlink every live segment (service shutdown); keeps the records.
+
+        Retired records (replaced by :meth:`update`) are released too:
+        shutdown means no queued job will ever attach again, so waiting on
+        their finalizers would only delay the /dev/shm unlink.
+        """
         with self._lock:
             records = list(self._records.values())
-        for record in records:
+            retired_refs, self._retired = self._retired, []
+        retired = [r for ref in retired_refs if (r := ref()) is not None]
+        for record in records + retired:
             record.release()
 
     def ids(self) -> tuple[str, ...]:

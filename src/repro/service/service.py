@@ -274,12 +274,16 @@ class QueryService:
         engine: str | None = None,
         config: SystemConfig | None = None,
         use_cache: bool = True,
+        root_range: tuple[int, int] | None = None,
     ) -> JobHandle:
         """Enqueue one query; returns immediately with a :class:`JobHandle`.
 
         ``priority``: lower runs first (FIFO within a class).  ``timeout``
         is a queue deadline in seconds on the service clock.  ``engine`` /
         ``config`` override the service defaults for this job only.
+        ``root_range`` restricts matching to search trees rooted in the
+        half-open vertex range ``[lo, hi)`` — the cluster layer's shard
+        workers submit exactly such root-partitioned subqueries.
         Raises :class:`~repro.errors.QueueFullError` under backpressure.
         """
         if self._shutdown:
@@ -305,11 +309,20 @@ class QueryService:
         cfg = config or self.config
         if engine is not None and engine != cfg.engine:
             cfg = cfg.with_overrides(engine=engine)
+        if root_range is not None:
+            lo, hi = int(root_range[0]), int(root_range[1])
+            if lo < 0 or hi < lo:
+                raise ServiceError(
+                    f"root_range must be a half-open [lo, hi) with "
+                    f"0 <= lo <= hi, got {root_range!r}"
+                )
+            root_range = (lo, hi)
         plan = build_plan(pattern, induced=induced)
         key = CacheKey(
             fingerprint=record.fingerprint,
             pattern_key=pattern_cache_key(pattern, induced),
             config_key=cfg.cache_key(),
+            root_key=root_range,
         )
         handle = JobHandle(
             job_id=next(self._job_ids),
@@ -374,6 +387,7 @@ class QueryService:
             config=cfg,
             cache_key=key,
             priority=priority,
+            root_range=root_range,
             seq=next(self._seq),
             deadline=(
                 None if timeout is None else self._clock() + timeout
@@ -444,7 +458,9 @@ class QueryService:
             if not delta_patch:
                 return
             for key, report in dropped:
-                if key.pattern_key == pkey:
+                # root-restricted (cluster shard) entries hold partial
+                # counts; the maintained total must not overwrite them
+                if key.pattern_key == pkey and key.root_key is None:
                     patched = replace(report, embeddings=gpm.count)
                     self._cache.put(key.with_fingerprint(new_fp), patched)
 
@@ -608,6 +624,7 @@ class QueryService:
                 observe_run=self._observation is not None,
                 faults=job.faults,
                 verify_engine=job.verify_engine,
+                root_range=job.root_range,
             )
         except BaseException as exc:  # pool already broken at submit time
             future = Future()

@@ -101,13 +101,14 @@ def _run_primary(
     plan: "MatchingPlan",
     config: "SystemConfig",
     observe_run: bool,
+    roots=None,
 ) -> "SimReport":
     """The pre-resilience execution paths, byte-for-byte unchanged."""
     from ..sim.host import run_on_soc
 
     if not observe_run:
         t0 = time.perf_counter()
-        report = run_on_soc(graph, plan, config)
+        report = run_on_soc(graph, plan, config, roots=roots)
         report.wall_seconds = time.perf_counter() - t0
         return report
 
@@ -122,7 +123,7 @@ def _run_primary(
             engine=config.engine,
             pid=os.getpid(),
         ):
-            report = run_on_soc(graph, plan, config)
+            report = run_on_soc(graph, plan, config, roots=roots)
     report.wall_seconds = time.perf_counter() - t0
     report.profile = build_profile(report, ob, engine=config.engine)
     return report
@@ -137,6 +138,7 @@ def run_job(
     observe_run: bool = False,
     faults: "tuple[FaultSpec, ...] | None" = None,
     verify_engine: str | None = None,
+    root_range: "tuple[int, int] | None" = None,
 ) -> "SimReport":
     """Execute one query on the configured engine; returns the report.
 
@@ -146,22 +148,34 @@ def run_job(
     totals and the PE activity timeline all recorded worker-side and
     shipped home with the (picklable) report.
     """
+    import numpy as np
+
     from ..sim.host import run_on_soc
 
     graph = _resolve_graph(graph_id, fingerprint, payload)
+    # a half-open [lo, hi) root range ships as two ints and becomes the
+    # engines' root-vertex array here, worker-side (cluster subqueries)
+    roots = (
+        None
+        if root_range is None
+        else np.arange(root_range[0], root_range[1], dtype=np.int32)
+    )
     injector = FaultInjector(faults) if faults else None
     with inject(injector) if injector is not None else nullcontext():
         if injector is not None:
             # site "worker.run": CRASH raises a crash-shaped error the
             # service retries/reroutes, HANG stalls this worker
             injector.fire("worker.run")
-        report = _run_primary(graph, plan, config, observe_run)
+        report = _run_primary(graph, plan, config, observe_run, roots)
     # the cross-check runs outside the fault scope: it is the trusted
     # independent recomputation, never subject to the job's injections
     verify_report: "SimReport | None" = None
     if verify_engine is not None and verify_engine != config.engine:
         verify_report = run_on_soc(
-            graph, plan, config.with_overrides(engine=verify_engine)
+            graph,
+            plan,
+            config.with_overrides(engine=verify_engine),
+            roots=roots,
         )
     if injector is not None and injector.events:
         report.notes["injected"] = dict(injector.events)

@@ -57,8 +57,27 @@ class HostModel:
         self.config = config
         self.rocc = RoCCInterface(config)
 
+    def _root_vertices(
+        self, graph: CSRGraph, plan: MatchingPlan, roots
+    ):
+        """Label-filtered root vertices (all vertices when ``roots=None``)."""
+        candidates = (
+            range(graph.num_vertices)
+            if roots is None
+            else (int(v) for v in roots)
+        )
+        root_label = plan.levels[0].label
+        labels = graph.labels
+        if root_label is None or labels is None:
+            return candidates
+        return (v for v in candidates if int(labels[v]) == root_label)
+
     def _software_prefix(
-        self, graph: CSRGraph, plan: MatchingPlan, hw_start_level: int
+        self,
+        graph: CSRGraph,
+        plan: MatchingPlan,
+        hw_start_level: int,
+        roots=None,
     ) -> _PrefixResult:
         """Execute plan levels below ``hw_start_level`` on the CPU."""
         cycles = 0.0
@@ -100,19 +119,19 @@ class HostModel:
                 expand(SimTask(level=task.level + 1, vertex=int(v),
                                parent=task))
 
-        root_label = plan.levels[0].label
-        for root in range(graph.num_vertices):
-            if (
-                root_label is not None
-                and graph.labels is not None
-                and int(graph.labels[root]) != root_label
-            ):
-                continue
+        for root in self._root_vertices(graph, plan, roots):
             expand(SimTask(level=1, vertex=root, parent=None))
         return _PrefixResult(tasks=tasks, host_cycles=cycles)
 
-    def run(self, graph: CSRGraph, plan: MatchingPlan) -> SimReport:
-        """Full offload flow: configure → (prefix) → run → poll."""
+    def run(
+        self, graph: CSRGraph, plan: MatchingPlan, roots=None
+    ) -> SimReport:
+        """Full offload flow: configure → (prefix) → run → poll.
+
+        ``roots`` restricts matching to search trees rooted at the given
+        data vertices (used by the cluster layer's per-shard subqueries);
+        the default ``None`` roots one tree per (label-valid) vertex.
+        """
         self.rocc.config_graph(graph)
         self.rocc.config_tasklist(plan)
         host_cycles = 3 * HOST_ROCC_ISSUE_CYCLES
@@ -122,12 +141,17 @@ class HostModel:
             hw_start = stop_level - self.config.max_hw_levels + 1
             t0 = perf_counter()
             with _obs.span("host.prefix", hw_start_level=hw_start):
-                prefix = self._software_prefix(graph, plan, hw_start)
+                prefix = self._software_prefix(graph, plan, hw_start, roots)
             ob = _obs.current()
             if ob is not None:
                 ob.add_stage("host_prefix", perf_counter() - t0)
             start_tasks = prefix.tasks
             host_cycles += prefix.host_cycles
+        elif roots is not None:
+            start_tasks = [
+                SimTask(level=1, vertex=v, parent=None)
+                for v in self._root_vertices(graph, plan, roots)
+            ]
         self.rocc.run(start_tasks=start_tasks)
         report = self.rocc.poll()
         report.host_cycles += host_cycles
@@ -135,12 +159,20 @@ class HostModel:
 
 
 def run_on_soc(
-    graph: CSRGraph, plan: MatchingPlan, config: SystemConfig
+    graph: CSRGraph,
+    plan: MatchingPlan,
+    config: SystemConfig,
+    roots: np.ndarray | None = None,
 ) -> SimReport:
     """Run a workload on the configured execution engine.
 
     ``config.engine`` selects the backend: the default ``event`` engine is
     the full SoC flow (host + RoCC + event-driven accelerator simulation);
     ``batched`` runs the vectorised frontier engine with analytic timing.
+    ``roots`` optionally restricts matching to the given root vertices
+    (every engine supports it; the cluster layer's per-shard subqueries
+    are built on exactly this).
     """
-    return get_engine(config.engine).run(graph, plan, config)
+    if roots is None:
+        return get_engine(config.engine).run(graph, plan, config)
+    return get_engine(config.engine).run(graph, plan, config, roots=roots)

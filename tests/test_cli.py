@@ -166,3 +166,29 @@ class TestTraceCommand:
     def test_verbose_flag_parses(self):
         args = build_parser().parse_args(["-vv", "engines"])
         assert args.verbose == 2
+
+
+class TestCluster:
+    def test_clean_run_matches_single_node(self, capsys):
+        rc = main(["cluster", "--shards", "3", "--nodes", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sharded 3 ways" in out
+        assert "matches single-node" in out
+        assert "PARTIAL" not in out
+        assert "cluster health: healthy" in out
+
+    def test_chaos_kill_degrades(self, capsys):
+        rc = main(
+            ["cluster", "--shards", "3", "--nodes", "80", "--kill", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "killed shard1" in out
+        assert "PARTIAL" in out
+        assert "cluster health: degraded" in out
+        assert "UNREACHABLE" in out
+
+    def test_transport_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--transport", "smoke"])

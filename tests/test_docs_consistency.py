@@ -39,6 +39,37 @@ class TestReadme:
             assert pkg in readme, pkg
 
 
+class TestClusterDocs:
+    @pytest.fixture(scope="class")
+    def architecture(self):
+        return (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_readme_has_cluster_quickstart(self, readme):
+        assert "### Cluster" in readme
+        assert "LocalCluster" in readme
+        assert "python -m repro cluster" in readme
+        assert "BENCH_cluster.json" in readme
+
+    def test_architecture_has_cluster_section(self, architecture):
+        assert "## Cluster" in architecture
+        for phrase in ("halo", "exactly-once", "inproc", "tcp",
+                       "python -m repro cluster"):
+            assert phrase in architecture, phrase
+
+    def test_documented_cluster_api_exists(self, readme):
+        import repro
+
+        for name in ("LocalCluster", "Coordinator", "ShardWorker",
+                     "ClusterHealth"):
+            assert hasattr(repro, name), name
+        assert "LocalCluster" in readme
+
+    def test_referenced_cluster_files_exist(self, readme, architecture):
+        for rel in ("benchmarks/bench_cluster.py", "tests/test_cluster.py"):
+            assert (ROOT / rel).exists(), rel
+            assert rel in readme or rel in architecture, rel
+
+
 class TestDesign:
     def test_substitution_table(self, design):
         for phrase in ("DRAMSys", "CACTI", "SNAP", "Chisel"):

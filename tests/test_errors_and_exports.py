@@ -20,6 +20,10 @@ class TestErrorHierarchy:
             "JobTimeoutError",
             "JobCancelledError",
             "WorkerCrashError",
+            "ClusterError",
+            "CommError",
+            "CommClosedError",
+            "CommTimeoutError",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.XSetError)
@@ -36,6 +40,11 @@ class TestErrorHierarchy:
                      "JobCancelledError", "WorkerCrashError"):
             assert issubclass(getattr(errors, name), errors.ServiceError)
 
+    def test_cluster_errors_nest_under_service_error(self):
+        assert issubclass(errors.ClusterError, errors.ServiceError)
+        for name in ("CommError", "CommClosedError", "CommTimeoutError"):
+            assert issubclass(getattr(errors, name), errors.ClusterError)
+
     def test_one_except_clause_catches_everything(self):
         with pytest.raises(errors.XSetError):
             raise errors.SchedulerError("boom")
@@ -46,6 +55,7 @@ class TestPackageSurface:
         import repro.analysis
         import repro.baselines
         import repro.cli
+        import repro.cluster
         import repro.core
         import repro.graph
         import repro.hw
@@ -61,6 +71,7 @@ class TestPackageSurface:
         """Every name exported in __all__ must actually exist."""
         import repro.analysis
         import repro.baselines
+        import repro.cluster
         import repro.core
         import repro.graph
         import repro.hw
@@ -73,9 +84,10 @@ class TestPackageSurface:
         import repro.siu
 
         for module in (
-            repro.analysis, repro.baselines, repro.core, repro.graph,
-            repro.hw, repro.memory, repro.patterns, repro.sched,
-            repro.service, repro.setops, repro.sim, repro.siu,
+            repro.analysis, repro.baselines, repro.cluster, repro.core,
+            repro.graph, repro.hw, repro.memory, repro.patterns,
+            repro.sched, repro.service, repro.setops, repro.sim,
+            repro.siu,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
@@ -83,7 +95,7 @@ class TestPackageSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_public_docstrings(self):
         """Every public class/function in the core API carries a docstring."""
