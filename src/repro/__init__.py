@@ -39,7 +39,7 @@ from .errors import (
     XSetError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CircuitOpenError",

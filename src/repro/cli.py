@@ -15,6 +15,10 @@ Gives the library a shell-level surface mirroring the paper artifact's
     python -m repro trace --export out.json
     python -m repro health --chaos --prometheus
     python -m repro cluster --shards 4 --kill 2
+    python -m repro top --shards 3 --iterations 2
+    python -m repro flight --dump
+
+``stats`` and ``health`` accept ``--json`` for machine-readable output.
 
 Pass ``-v``/``-vv`` (or set ``REPRO_LOG=INFO``/``DEBUG``) to surface the
 library's log output — worker retries, crashes and job timeouts are
@@ -30,6 +34,27 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 _SYSTEMS = ("xset", "flexminer", "fingers", "shogun")
+
+
+def _jsonable(obj):
+    """Best-effort conversion of report dataclasses to JSON-safe values."""
+    import dataclasses
+    import enum
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.name.lower()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
 
 
 def _config_for(name: str, overrides: dict):
@@ -208,6 +233,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .analysis.reporting import render_profile
 
     with _traced_query(args) as service:
+        if args.json:
+            import json
+
+            print(json.dumps(_jsonable(service.stats()), indent=2,
+                             sort_keys=True))
+            return 0
         profiles = service.profiles()
         if profiles:
             print(render_profile(profiles[-1]))
@@ -284,9 +315,12 @@ def _cmd_health(args: argparse.Namespace) -> int:
                     gid, pattern, engine=args.engine, use_cache=False
                 )
             except Exception as exc:  # noqa: BLE001 - reported, not fatal
-                print(f"{pattern.name:<6} FAILED "
-                      f"[{type(exc).__name__}: {exc}]")
+                if not args.json:
+                    print(f"{pattern.name:<6} FAILED "
+                          f"[{type(exc).__name__}: {exc}]")
             else:
+                if args.json:
+                    continue
                 notes = getattr(report, "notes", {})
                 tags = sorted(notes.get("injected", {}))
                 if notes.get("crosscheck", {}).get("mismatch"):
@@ -294,6 +328,13 @@ def _cmd_health(args: argparse.Namespace) -> int:
                 suffix = f"   [{', '.join(tags)}]" if tags else ""
                 print(f"{pattern.name:<6} {report.embeddings:>10} "
                       f"embeddings{suffix}")
+        if args.json:
+            import json
+
+            payload = _jsonable(service.health())
+            payload["flight"] = service.flight.counts()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print()
         print(service.health().summary())
         if args.prometheus:
@@ -357,6 +398,101 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             )
         print()
         print(coord.health().summary())
+    return 0
+
+
+def _demo_cluster(args: argparse.Namespace, **extra):
+    """A small observability-enabled LocalCluster over a generated graph."""
+    from .cluster import LocalCluster
+    from .graph.generators import erdos_renyi
+
+    cluster = LocalCluster(
+        num_shards=args.shards,
+        observability=True,
+        max_workers=1,
+        **extra,
+    )
+    graph = erdos_renyi(
+        args.nodes, args.degree, seed=13, name="obs-demo"
+    )
+    gid = cluster.coordinator.register_graph(graph)
+    return cluster, gid
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live cluster dashboard: health, SLOs, shard stats, flight counts.
+
+    Polls a demo cluster ``--iterations`` times (bounded so CI can run
+    it), driving one query per tick so the SLO windows and federated
+    metrics have fresh samples to show.  Think ``top(1)`` for the
+    scatter/gather plane.
+    """
+    import time as _time
+
+    from .patterns.pattern import PATTERNS
+
+    patterns = [PATTERNS[n] for n in ("3CF", "TT", "DIA", "WEDGE")]
+    cluster, gid = _demo_cluster(args)
+    with cluster:
+        coord = cluster.coordinator
+        for tick in range(args.iterations):
+            pattern = patterns[tick % len(patterns)]
+            report = coord.query(gid, pattern, use_cache=False)
+            health = coord.health()
+            print(f"-- tick {tick + 1}/{args.iterations} "
+                  f"({pattern.name}: {report.embeddings} embeddings) --")
+            print(health.summary())
+            stats = coord.stats()
+            for name in sorted(stats):
+                st = stats[name]
+                line = (
+                    f"  {name}: queries={st['queries']} mode={st['mode']}"
+                    if st is not None
+                    else f"  {name}: UNREACHABLE"
+                )
+                print(line)
+            counts = coord.flight.counts()
+            if counts:
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in sorted(counts.items())
+                )
+                print(f"  flight: {rendered}")
+            if tick + 1 < args.iterations and args.interval > 0:
+                _time.sleep(args.interval)
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    """Chaos demo surfacing the flight recorder's job-lifecycle ring.
+
+    Kills one shard mid-run, drives enough queries to trip its breaker,
+    and prints the coordinator's flight-event ring.  With ``--dump`` the
+    full ring is written to a JSON file (the same format the recorder
+    auto-dumps when cluster health degrades).
+    """
+    from .patterns.pattern import PATTERNS
+
+    cluster, gid = _demo_cluster(args)
+    with cluster:
+        coord = cluster.coordinator
+        coord.query(gid, PATTERNS["3CF"], use_cache=False)
+        killed = cluster.kill_shard(args.kill)
+        print(f"killed {killed}; driving queries through the hole...")
+        for name in ("TT", "DIA"):
+            coord.query(gid, PATTERNS[name], use_cache=False)
+        health = coord.health()
+        print(health.summary())
+        print()
+        print(f"flight recorder ({len(coord.flight)} events):")
+        for event in coord.flight:
+            data = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.data.items())
+            )
+            print(f"  {event.kind:<18} {data}")
+        if args.dump is not None:
+            path = coord.flight.dump(args.dump or None, reason="cli")
+            print()
+            print(f"wrote {path}")
     return 0
 
 
@@ -450,6 +586,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prometheus", action="store_true",
                        help="also dump the metrics registry in "
                             "Prometheus text format")
+    stats.add_argument("--json", action="store_true",
+                       help="print the stats snapshot as JSON")
     stats.set_defaults(func=_cmd_stats)
 
     trace = sub.add_parser(
@@ -483,6 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--prometheus", action="store_true",
                         help="also dump the metrics registry in "
                              "Prometheus text format")
+    health.add_argument("--json", action="store_true",
+                        help="print the health report (plus flight-event "
+                             "counts) as JSON")
     health.set_defaults(func=_cmd_health)
 
     cluster = sub.add_parser(
@@ -509,6 +650,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chaos: kill this shard index before the "
                               "last pattern (-1 = don't)")
     cluster.set_defaults(func=_cmd_cluster)
+
+    top = sub.add_parser(
+        "top",
+        help="live cluster dashboard: health, SLOs, shards, flight counts",
+    )
+    top.add_argument("--shards", type=int, default=3,
+                     help="number of shard workers in the demo cluster")
+    top.add_argument("--nodes", type=int, default=120,
+                     help="vertices of the generated demo graph")
+    top.add_argument("--degree", type=float, default=8.0,
+                     help="average degree of the demo graph")
+    top.add_argument("--iterations", type=int, default=3,
+                     help="dashboard refreshes before exiting")
+    top.add_argument("--interval", type=float, default=0.0,
+                     help="seconds to sleep between refreshes")
+    top.set_defaults(func=_cmd_top)
+
+    flight = sub.add_parser(
+        "flight",
+        help="chaos demo printing the coordinator's flight-event ring",
+    )
+    flight.add_argument("--shards", type=int, default=3,
+                        help="number of shard workers in the demo cluster")
+    flight.add_argument("--nodes", type=int, default=120,
+                        help="vertices of the generated demo graph")
+    flight.add_argument("--degree", type=float, default=8.0,
+                        help="average degree of the demo graph")
+    flight.add_argument("--kill", type=int, default=1,
+                        help="shard index to kill mid-run")
+    flight.add_argument("--dump", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="write the flight ring to PATH "
+                             "(default: flight-coordinator.json)")
+    flight.set_defaults(func=_cmd_flight)
 
     return parser
 

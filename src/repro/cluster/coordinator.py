@@ -25,28 +25,43 @@ Resilience reuses the service layer's own machinery at cluster scope:
 
 from __future__ import annotations
 
+import json
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..core.config import SystemConfig, xset_default
 from ..errors import ClusterError, CommError
 from ..graph.csr import CSRGraph
 from ..obs import MetricsRegistry, Tracer
+from ..obs.cluster import TraceContext, new_trace_id
+from ..obs.export import chrome_trace_events
+from ..obs.federation import FederatedMetrics, MetricsDeltaTracker
+from ..obs.flight import FlightRecorder
+from ..obs.slo import DEFAULT_SLOS, SLO, SLOStatus, SLOTracker
+from ..obs.tracing import Span
 from ..patterns.plan import build_plan
-from ..resilience import BreakerBoard, HealthReport, HealthState
+from ..resilience import BreakerBoard, BreakerState, HealthReport, \
+    HealthState
 from .comm.base import Connection, Transport, get_transport
 from .merge import merge_reports
 from .partition import make_shards
 from .worker import ShardWorker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import ExecutionProfile
     from ..patterns.pattern import Pattern
     from ..resilience.breaker import BreakerSnapshot
     from ..sim.report import SimReport
 
 __all__ = ["Coordinator", "ClusterHealth", "LocalCluster"]
+
+#: per-shard execution profiles retained for PE-lane trace export
+PROFILE_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -58,11 +73,19 @@ class ClusterHealth:
     shards: "Mapping[str, HealthReport | None]" = field(default_factory=dict)
     #: coordinator-side comm breaker snapshots, keyed by shard name
     breakers: "Mapping[str, BreakerSnapshot]" = field(default_factory=dict)
+    #: SLO name → point-in-time status (empty when no tracker is wired)
+    slo: "Mapping[str, SLOStatus]" = field(default_factory=dict)
 
     @property
     def dead(self) -> tuple[str, ...]:
         return tuple(
             sorted(n for n, r in self.shards.items() if r is None)
+        )
+
+    @property
+    def slo_violations(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(n for n, st in self.slo.items() if not st.met)
         )
 
     def summary(self) -> str:
@@ -84,7 +107,44 @@ class ClusterHealth:
         for name, snap in sorted(self.breakers.items()):
             if snap.state != "closed":
                 lines.append(f"  breaker[{name}]: {snap.state}")
+        for name in sorted(self.slo):
+            lines.append(f"  slo {self.slo[name].line()}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (CLI ``--json``, CI assertions)."""
+        return {
+            "state": self.state.name.lower(),
+            "dead": list(self.dead),
+            "shards": {
+                name: (
+                    None if report is None
+                    else {
+                        "state": report.state.name.lower(),
+                        "queue_depth": report.queue_depth,
+                        "queue_limit": report.queue_limit,
+                        "in_flight": report.in_flight,
+                        "shed": report.shed,
+                        "abandoned": report.abandoned,
+                        "rerouted": report.rerouted,
+                    }
+                )
+                for name, report in self.shards.items()
+            },
+            "breakers": {
+                name: {
+                    "state": snap.state,
+                    "failures": snap.failures,
+                    "consecutive_failures": snap.consecutive_failures,
+                    "last_failure_reason": snap.last_failure_reason,
+                }
+                for name, snap in self.breakers.items()
+            },
+            "slo": {
+                name: status.to_dict()
+                for name, status in self.slo.items()
+            },
+        }
 
 
 @dataclass
@@ -125,6 +185,8 @@ class Coordinator:
         observability: bool = False,
         breaker_failure_threshold: int = 2,
         breaker_recovery_seconds: float = 30.0,
+        slos: "Iterable[SLO] | None" = None,
+        flight_dir: "str | Path | None" = None,
     ) -> None:
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -143,16 +205,32 @@ class Coordinator:
         ]
         #: graph_id → per-shard placements (order matches self._shards)
         self._graphs: dict[str, list[_ShardPlacement]] = {}
+        # flight recorder before the breakers: the transition callback
+        # writes into it
+        self.flight = FlightRecorder(
+            name="coordinator", flight_dir=flight_dir
+        )
         self._breakers = BreakerBoard(
             failure_threshold=breaker_failure_threshold,
             recovery_seconds=breaker_recovery_seconds,
             half_open_probes=1,
+            on_transition=self._on_breaker_transition,
         )
         self.metrics = MetricsRegistry()
         self.metrics.gauge(
             "repro_cluster_shards", "shard workers in this cluster"
         ).set(len(self._shards))
+        #: shard metric deltas merged under a shard= label, plus the
+        #: coordinator's own registry under shard="coordinator"
+        self.federation = FederatedMetrics()
+        self._self_delta = MetricsDeltaTracker(self.metrics)
+        self.slo = SLOTracker(tuple(slos) if slos is not None
+                              else DEFAULT_SLOS)
         self._tracer = Tracer() if observability else None
+        #: (shard name, profile) pairs for per-shard PE trace lanes
+        self._profiles: "deque[tuple[str, ExecutionProfile]]" = deque(
+            maxlen=PROFILE_LIMIT
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=len(self._shards),
             thread_name_prefix="cluster-scatter",
@@ -166,10 +244,36 @@ class Coordinator:
             return nullcontext()
         return self._tracer.span(name, **attrs)
 
-    def _call(self, binding: _ShardBinding, payload: dict):
-        """One breaker-guarded request to one shard."""
+    def _on_breaker_transition(self, shard, old, new) -> None:
+        """Comm-breaker transitions land in the flight recorder."""
+        self.flight.record(
+            "breaker_trip" if new is BreakerState.OPEN
+            else "breaker_transition",
+            shard=shard,
+            from_state=old.name.lower(),
+            to_state=new.name.lower(),
+        )
+
+    def _end_scatter_span(self, span: "Span | None", outcome: str) -> None:
+        if span is not None and self._tracer is not None:
+            span.set_attr("outcome", outcome)
+            self._tracer.end_span(span)
+
+    def _call(
+        self,
+        binding: _ShardBinding,
+        payload: dict,
+        span: "Span | None" = None,
+    ):
+        """One breaker-guarded request to one shard.
+
+        ``span`` (a manually-started scatter span) is closed here, on
+        the scatter pool thread, so its duration covers the request —
+        not the coordinator's wait for slower siblings.
+        """
         breaker = self._breakers.for_engine(binding.name)
         if not breaker.allow():
+            self._end_scatter_span(span, "breaker_open")
             raise ClusterError(
                 f"shard {binding.name!r} breaker is open "
                 f"(recent comm failures)"
@@ -184,17 +288,31 @@ class Coordinator:
                 "repro_cluster_shard_failures_total",
                 "scatter requests lost to comm failures",
             ).inc()
+            self._end_scatter_span(span, type(exc).__name__)
             raise
         breaker.record_success()
+        self._end_scatter_span(span, "ok")
         return value
 
     def _scatter(
-        self, payloads: "list[tuple[_ShardBinding, dict]]"
+        self, payloads: "list[tuple]"
     ) -> "list[tuple[_ShardBinding, object, BaseException | None]]":
-        """Fan requests out; gather ``(binding, value, error)`` triples."""
+        """Fan requests out; gather ``(binding, value, error)`` triples.
+
+        Each item is ``(binding, payload)`` or ``(binding, payload,
+        scatter_span)`` — the optional span travels to :meth:`_call`.
+        """
         futures = [
-            (binding, self._pool.submit(self._call, binding, payload))
-            for binding, payload in payloads
+            (
+                item[0],
+                self._pool.submit(
+                    self._call,
+                    item[0],
+                    item[1],
+                    item[2] if len(item) > 2 else None,
+                ),
+            )
+            for item in payloads
         ]
         results = []
         for binding, future in futures:
@@ -321,14 +439,40 @@ class Coordinator:
         self.metrics.counter(
             "repro_cluster_queries_total", "cluster queries accepted"
         ).inc()
+        tracer = self._tracer
+        trace_id = new_trace_id() if tracer is not None else None
+        started = time.perf_counter()
+        scatter_spans: "dict[str, Span]" = {}
         with self._span(
             "cluster.query",
             graph_id=graph_id,
             pattern=pattern.name,
             fan_out=len(targets),
-        ):
-            results = self._scatter(
-                [
+            trace_id=trace_id,
+            lane="coordinator",
+        ) as qspan:
+            calls = []
+            for binding, _ in targets:
+                sspan = None
+                trace_ctx = None
+                if tracer is not None:
+                    # one manually-started scatter span per shard: it is
+                    # the ingest parent and its start is the re-anchor
+                    # point for the shard's whole span tree
+                    sspan = tracer.start_span(
+                        "cluster.scatter",
+                        parent=qspan,
+                        shard=binding.name,
+                        trace_id=trace_id,
+                        lane="coordinator",
+                    )
+                    scatter_spans[binding.name] = sspan
+                    trace_ctx = TraceContext(
+                        trace_id=trace_id,
+                        parent_span_id=sspan.span_id,
+                        anchor=time.time(),
+                    )
+                calls.append(
                     (
                         binding,
                         {
@@ -340,16 +484,52 @@ class Coordinator:
                             "config": config,
                             "use_cache": use_cache,
                             "timeout": self.request_timeout,
+                            "trace": trace_ctx,
                         },
+                        sspan,
                     )
-                    for binding, _ in targets
-                ]
-            )
-        ok = [(b, report) for b, report, exc in results if exc is None]
-        failed = {
-            b.name: repr(exc) for b, _, exc in results if exc is not None
-        }
+                )
+            results = self._scatter(calls)
+            ok: "list[tuple[_ShardBinding, SimReport]]" = []
+            failed: dict[str, str] = {}
+            for binding, value, exc in results:
+                if exc is not None:
+                    failed[binding.name] = repr(exc)
+                    self.flight.record(
+                        "shard_failure",
+                        shard=binding.name,
+                        op="query",
+                        graph_id=graph_id,
+                        error=repr(exc),
+                    )
+                    continue
+                envelope = value if isinstance(value, dict) else {
+                    "report": value
+                }
+                self.federation.apply(
+                    binding.name, envelope.get("metrics")
+                )
+                if tracer is not None:
+                    self._adopt_shard_trace(
+                        binding.name,
+                        envelope,
+                        scatter_spans.get(binding.name),
+                    )
+                ok.append((binding, envelope["report"]))
+        elapsed = time.perf_counter() - started
+        self.metrics.histogram(
+            "repro_cluster_query_seconds",
+            "end-to-end scatter/gather query latency",
+        ).observe(elapsed)
+        self.slo.record(elapsed, ok=not failed)
         if not ok:
+            self.flight.record(
+                "query_failed",
+                graph_id=graph_id,
+                pattern=pattern.name,
+                failed_shards=sorted(failed),
+            )
+            self.flight.auto_dump("query-failed")
             raise ClusterError(
                 f"query {pattern.name!r} on {graph_id!r} failed on every "
                 f"shard: {failed}"
@@ -368,12 +548,51 @@ class Coordinator:
             "failed_shards": sorted(failed),
             "failures": failed,
         }
+        if trace_id is not None:
+            merged.notes["cluster"]["trace_id"] = trace_id
         if failed:
             self.metrics.counter(
                 "repro_cluster_partial_results_total",
                 "merged results missing at least one shard",
             ).inc()
+            self.flight.record(
+                "partial_result",
+                graph_id=graph_id,
+                pattern=pattern.name,
+                failed_shards=sorted(failed),
+            )
+            self.flight.auto_dump("shard-failure")
         return merged
+
+    def _adopt_shard_trace(
+        self, shard: str, envelope: dict, sspan: "Span | None"
+    ) -> None:
+        """Re-anchor one shard's span tree under its scatter span.
+
+        The batch is shifted so its earliest start (the shard's
+        ``service.job``) lands exactly at the scatter span's start —
+        shards have their own ``perf_counter`` origin, so only the
+        coordinator timeline is meaningful after the merge.  Adopted
+        spans get ``shard``/``lane`` attributes so the Chrome export
+        gives each shard its own track.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        profile = envelope.get("profile")
+        if profile is not None:
+            self._profiles.append((shard, profile))
+        spans = envelope.get("spans") or []
+        if not spans:
+            return
+        adopted = tracer.ingest(
+            spans,
+            parent=sspan,
+            align_to=sspan.start if sspan is not None else None,
+        )
+        for sp in adopted:
+            sp.attrs.setdefault("shard", shard)
+            sp.attrs["lane"] = shard
 
     def count(self, graph_id: str, pattern: "Pattern", **kwargs) -> int:
         """Cluster-wide embedding count (raises on partial results)."""
@@ -389,28 +608,139 @@ class Coordinator:
     # -- health / lifecycle ------------------------------------------------
 
     def health(self) -> ClusterHealth:
-        """Gather per-shard health; aggregate to one cluster state."""
+        """Gather per-shard health; aggregate to one cluster state.
+
+        Shard replies piggyback metrics deltas (federated here) and the
+        SLO tracker's statuses join the report: a burning error budget
+        degrades the cluster even while every shard is individually
+        healthy.  A non-healthy aggregate records a flight event and —
+        once per state, when a flight dir is configured — auto-dumps
+        the coordinator's ring.
+        """
         results = self._scatter(
             [(b, {"op": "health"}) for b in self._shards]
         )
         shards: dict[str, "HealthReport | None"] = {}
         worst = HealthState.HEALTHY
         any_dead = False
-        for binding, report, exc in results:
+        for binding, value, exc in results:
             if exc is not None:
                 shards[binding.name] = None
                 any_dead = True
+                self.flight.record(
+                    "shard_failure",
+                    shard=binding.name,
+                    op="health",
+                    error=repr(exc),
+                )
                 continue
+            if isinstance(value, dict) and "report" in value:
+                report = value["report"]
+                self.federation.apply(
+                    binding.name, value.get("metrics")
+                )
+            else:  # bare HealthReport (older shard)
+                report = value
             shards[binding.name] = report
             if report.state.value > worst.value:
                 worst = report.state
         snapshots = self._breakers.snapshots()
         breaker_open = any(s.state != "closed" for s in snapshots.values())
-        if (any_dead or breaker_open) and worst is HealthState.HEALTHY:
+        slo_statuses = self.slo.evaluate()
+        slo_violated = any(not st.met for st in slo_statuses.values())
+        if (
+            (any_dead or breaker_open or slo_violated)
+            and worst is HealthState.HEALTHY
+        ):
             worst = HealthState.DEGRADED
+        if worst is not HealthState.HEALTHY:
+            self.flight.record(
+                "health_degraded",
+                state=worst.name.lower(),
+                dead=sorted(
+                    name for name, r in shards.items() if r is None
+                ),
+                slo_violations=sorted(
+                    name for name, st in slo_statuses.items()
+                    if not st.met
+                ),
+            )
+            self.flight.auto_dump(f"health-{worst.name.lower()}")
         return ClusterHealth(
-            state=worst, shards=shards, breakers=snapshots
+            state=worst,
+            shards=shards,
+            breakers=snapshots,
+            slo=slo_statuses,
         )
+
+    def stats(self) -> dict:
+        """Per-shard worker stats (``op: stats``) keyed by shard name.
+
+        Unreachable shards map to None — the ``top`` dashboard renders
+        them as DEAD rows instead of erroring out.
+        """
+        results = self._scatter(
+            [(b, {"op": "stats"}) for b in self._shards]
+        )
+        return {
+            binding.name: (None if exc is not None else value)
+            for binding, value, exc in results
+        }
+
+    def shard_flight(self, shard: str) -> dict:
+        """Fetch one live shard's flight-recorder ring (``op: flight``)."""
+        for binding in self._shards:
+            if binding.name == shard:
+                return self._call(binding, {"op": "flight"})
+        raise ClusterError(f"unknown shard {shard!r}")
+
+    # -- observability surfaces --------------------------------------------
+
+    @property
+    def observability(self) -> bool:
+        return self._tracer is not None
+
+    def metrics_text(self) -> str:
+        """One Prometheus exposition for the whole cluster.
+
+        Shard series carry ``shard=<name>`` labels (with histogram
+        aggregates under ``shard="all"``); the coordinator's own
+        registry is folded in as ``shard="coordinator"`` through the
+        same delta path.
+        """
+        self.federation.apply(
+            "coordinator", self._self_delta.collect(), aggregate=False
+        )
+        return self.federation.render()
+
+    def trace_events(self) -> list[dict]:
+        """Chrome trace events: one merged cluster timeline.
+
+        Coordinator spans share the ``coordinator`` lane; each shard's
+        re-anchored span tree gets its own lane; each shard's PE
+        activity (from shipped profiles) gets its own
+        ``accelerator (cycles) — <shard>`` process.
+        """
+        if self._tracer is None:
+            raise ClusterError(
+                "tracing is disabled; construct the coordinator with "
+                "observability=True"
+            )
+        pe_groups: dict[str, list] = {}
+        for shard, profile in self._profiles:
+            pe_groups.setdefault(shard, []).extend(profile.pe_events)
+        return chrome_trace_events(
+            self._tracer.finished(), pe_groups=pe_groups
+        )
+
+    def export_trace(self, path: str | None = None) -> list[dict]:
+        """The merged cluster Chrome/Perfetto trace; written when ``path``
+        is given.  Always returns the event list."""
+        events = self.trace_events()
+        if path is not None:
+            payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+            Path(path).write_text(json.dumps(payload))
+        return events
 
     def shutdown(self, stop_workers: bool = True) -> None:
         """Close connections (optionally stopping the workers first)."""
@@ -459,6 +789,7 @@ class LocalCluster:
         max_workers: int | None = None,
         observability: bool = False,
         request_timeout: float = 120.0,
+        flight_dir: "str | Path | None" = None,
     ) -> None:
         self.config = config or xset_default()
         if num_shards is None:
@@ -469,6 +800,8 @@ class LocalCluster:
             )
         self.transport_name = transport
         tr = get_transport(transport)
+        # observability propagates to every shard service: the workers
+        # record the spans/profiles the coordinator re-anchors
         self.workers = [
             ShardWorker(
                 f"shard{i}",
@@ -476,6 +809,7 @@ class LocalCluster:
                 self.config,
                 mode=mode,
                 max_workers=max_workers,
+                observability=observability,
             )
             for i in range(num_shards)
         ]
@@ -485,12 +819,14 @@ class LocalCluster:
             self.config,
             observability=observability,
             request_timeout=request_timeout,
+            flight_dir=flight_dir,
         )
 
     def kill_shard(self, index: int) -> str:
         """Chaos: make one shard unreachable; returns its name."""
         worker = self.workers[index]
         worker.kill()
+        self.coordinator.flight.record("shard_kill", shard=worker.name)
         return worker.name
 
     def shutdown(self) -> None:

@@ -13,10 +13,21 @@ Ops (payload ``{"op": ..., ...}`` → reply value):
 ``ping``        liveness probe → ``"pong"``
 ``register``    shard subgraph + owned local range → graph id
 ``unregister``  drop one shard graph (unlinks its shm segment)
-``query``       pattern/config → root-restricted :class:`SimReport`
-``health``      the underlying service's :class:`HealthReport`
+``query``       pattern/config → envelope: root-restricted
+                :class:`SimReport` + metrics delta (+ spans/profile when
+                the frame carried a :class:`~repro.obs.TraceContext`)
+``health``      envelope: the service's :class:`HealthReport` + metrics
+                delta + flight-event counts
 ``stats``       small dict (jobs run, cache hits, mode, pid)
+``flight``      the service's flight-recorder ring as a JSON-able dict
 ``shutdown``    stop the service, close the listener → ``True``
+
+``query`` and ``health`` replies are *envelopes* (dicts) rather than
+bare values: every reply piggybacks a compact
+:class:`~repro.obs.MetricsSnapshot` delta so the coordinator's federated
+registry stays current without a separate scrape loop, and a traced
+query additionally ships the job's finished span tree + its
+:class:`~repro.obs.ExecutionProfile` for coordinator-side re-anchoring.
 
 :meth:`kill` simulates a crash for chaos tests: the listener drops dead
 (peers see :class:`~repro.errors.CommClosedError`) but the Python state
@@ -27,10 +38,13 @@ after a dead host.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 from ..core.config import SystemConfig
 from ..errors import ClusterError
+from ..obs.cluster import TraceContext, collect_job_spans
+from ..obs.federation import MetricsDeltaTracker
 from ..service.service import QueryService
 from .comm.base import Transport
 
@@ -64,6 +78,8 @@ class ShardWorker:
         )
         #: graph_id → owned local root range ``[lo, hi)``
         self._owned: dict[str, tuple[int, int]] = {}
+        #: ships what changed in the service registry since the last reply
+        self._metrics_delta = MetricsDeltaTracker(self.service.metrics)
         self._queries = 0
         self._killed = False
         self._closed = False
@@ -107,7 +123,7 @@ class ShardWorker:
         self._owned.pop(graph_id, None)
         return dropped
 
-    def _op_query(self, payload: dict):
+    def _op_query(self, payload: dict) -> dict:
         graph_id = payload["graph_id"]
         owned = self._owned.get(graph_id)
         if owned is None:
@@ -115,6 +131,7 @@ class ShardWorker:
                 f"shard {self.name!r} has no registered shard graph "
                 f"{graph_id!r}"
             )
+        trace: "TraceContext | None" = payload.get("trace")
         handle = self.service.submit(
             graph_id,
             payload["pattern"],
@@ -126,12 +143,49 @@ class ShardWorker:
         )
         report = handle.result(timeout=payload.get("timeout"))
         self._queries += 1
-        # profiles carry span objects that may not pickle across the wire
+        profile = getattr(report, "profile", None)
+        # the report itself never carries the profile over the wire: the
+        # envelope ships it explicitly (spans stripped — the span tree
+        # travels once, in the "spans" field)
         report.profile = None
-        return report
+        envelope: dict[str, Any] = {
+            "report": report,
+            "shard": self.name,
+            "metrics": self._metrics_delta.collect(),
+        }
+        ob = self.service._observation
+        if trace is not None and ob is not None:
+            spans = collect_job_spans(
+                ob.tracer.finished(), handle.job_id
+            )
+            for sp in spans:
+                if sp.parent_id is None:
+                    # stamp the propagated context on the shard-local
+                    # roots: re-parenting happens coordinator-side, this
+                    # is the diagnostic record of what arrived
+                    sp.attrs.setdefault("trace_id", trace.trace_id)
+                    sp.attrs.setdefault(
+                        "coordinator_parent", trace.parent_span_id
+                    )
+                    sp.attrs.setdefault(
+                        "clock_skew_s", round(trace.skew(), 6)
+                    )
+            envelope["spans"] = spans
+            if profile is not None:
+                envelope["profile"] = replace(profile, spans=[])
+        return envelope
 
-    def _op_health(self, payload: dict):
-        return self.service.health()
+    def _op_health(self, payload: dict) -> dict:
+        return {
+            "report": self.service.health(),
+            "shard": self.name,
+            "metrics": self._metrics_delta.collect(),
+            "flight": self.service.flight.counts(),
+        }
+
+    def _op_flight(self, payload: dict) -> dict:
+        """The shard service's flight-recorder ring (JSON-able)."""
+        return self.service.flight.to_payload()
 
     def _op_stats(self, payload: dict) -> dict:
         import os

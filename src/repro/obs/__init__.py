@@ -30,8 +30,16 @@ Quickstart::
     write_chrome_trace("trace.json", profile.spans, profile.pe_events)
 """
 
+from .cluster import TraceContext, collect_job_spans, new_trace_id
 from .context import Observation, current, enabled, observe, span
 from .export import chrome_trace_events, write_chrome_trace
+from .federation import (
+    AGGREGATE_SHARD,
+    FederatedMetrics,
+    MetricsDeltaTracker,
+    MetricsSnapshot,
+)
+from .flight import FLIGHT_DIR_ENV, FlightEvent, FlightRecorder
 from .logsetup import configure_logging
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -41,27 +49,42 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profile import ExecutionProfile, build_profile
+from .slo import DEFAULT_SLOS, SLO, SLOStatus, SLOTracker
 from .summary import DEFAULT_PERCENTILES, Window, percentile, summarize
 from .tracing import Span, Tracer, current_span
 
 __all__ = [
+    "AGGREGATE_SHARD",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_PERCENTILES",
+    "DEFAULT_SLOS",
     "ExecutionProfile",
+    "FLIGHT_DIR_ENV",
+    "FederatedMetrics",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsDeltaTracker",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "Observation",
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
     "Span",
+    "TraceContext",
     "Tracer",
     "Window",
     "build_profile",
     "chrome_trace_events",
+    "collect_job_spans",
     "configure_logging",
     "current",
     "current_span",
     "enabled",
+    "new_trace_id",
     "observe",
     "percentile",
     "span",

@@ -1,0 +1,108 @@
+"""Cluster-wide tracing plumbing: trace contexts over the comm layer.
+
+PR 3's tracer stops at the process-tree boundary: the service already
+stitches worker-*process* spans back under the job span via
+:meth:`~repro.obs.tracing.Tracer.ingest`, but a sharded query crosses a
+*comm* boundary (inproc or tcp pickle frames) where nothing carried the
+trace.  This module is the small, transport-agnostic piece that closes
+the gap:
+
+* :class:`TraceContext` — the picklable trace envelope a coordinator
+  attaches to a ``query`` frame: trace id, the parent (scatter) span id
+  in the coordinator's id space, and the coordinator's wall-clock
+  anchor.  Shards never interpret the parent id — re-parenting happens
+  coordinator-side on ingest — but they stamp it (plus their measured
+  clock skew vs the anchor) onto their root span for diagnostics.
+* :func:`collect_job_spans` — given a shard service's finished spans,
+  extract exactly one job's span tree (the ``service.job`` root whose
+  ``job_id`` matches, plus every descendant).  This is what a
+  :class:`~repro.cluster.worker.ShardWorker` ships home in the reply
+  envelope; the coordinator re-anchors the batch onto the scatter
+  span's timeline so all shards render in coordinator time.
+
+Everything here is data-shaping over plain dataclasses: no locks, no
+transport knowledge, trivially testable.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Sequence
+
+from .tracing import Span
+
+__all__ = ["TraceContext", "collect_job_spans", "new_trace_id"]
+
+#: span name of the service-side job root (the shard-tree anchor)
+JOB_ROOT_SPAN = "service.job"
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (uuid4, W3C-trace-context sized)."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The trace envelope carried inside a comm ``query`` frame.
+
+    ``anchor`` is the coordinator's ``time.time()`` at dispatch; a shard
+    computes ``skew = time.time() - anchor`` on receipt.  Wall-clock
+    skew is diagnostic only — span re-anchoring uses the scatter span's
+    ``perf_counter`` timeline, never wall clocks.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+    anchor: float = 0.0
+
+    def skew(self, now: float | None = None) -> float:
+        """Receiver-side wall-clock offset vs the coordinator anchor."""
+        return (time.time() if now is None else now) - self.anchor
+
+
+def collect_job_spans(
+    spans: Sequence[Span], job_id: int | str
+) -> list[Span]:
+    """Extract one job's span tree from a service tracer's history.
+
+    Roots are ``service.job`` spans whose ``job_id`` attribute matches;
+    every span reachable from a root through parent links is included,
+    in the original (finish-order) sequence.  Spans belonging to other
+    jobs — a busy shard interleaves many — are left behind.
+    """
+    by_id = {sp.span_id: sp for sp in spans}
+    roots = {
+        sp.span_id
+        for sp in spans
+        if sp.name == JOB_ROOT_SPAN and sp.attrs.get("job_id") == job_id
+    }
+    if not roots:
+        return []
+    out: list[Span] = []
+    membership: dict[int, bool] = {}
+
+    def belongs(span_id: int) -> bool:
+        seen: list[int] = []
+        cur: int | None = span_id
+        result = False
+        while cur is not None:
+            if cur in membership:
+                result = membership[cur]
+                break
+            if cur in roots:
+                result = True
+                break
+            seen.append(cur)
+            parent = by_id.get(cur)
+            cur = parent.parent_id if parent is not None else None
+        for sid in seen:
+            membership[sid] = result
+        return result
+
+    for sp in spans:
+        if belongs(sp.span_id):
+            out.append(sp)
+    return out

@@ -55,11 +55,44 @@ def _root_lanes(spans: Sequence[Span]) -> dict[int, int]:
     return out
 
 
+def _span_lanes(spans: Sequence[Span]) -> tuple[dict[int, int], dict]:
+    """Lane (tid) assignment: named lanes first, root-tree lanes after.
+
+    Spans carrying a ``lane`` attribute (set by the cluster coordinator
+    when it adopts a shard's spans) share one *named* track per distinct
+    value, so shard 0's and shard 3's subtrees never interleave on a
+    single lane.  Spans without the attribute keep the original
+    one-lane-per-root-tree behaviour, offset past the named lanes.
+    """
+    named = sorted(
+        {str(sp.attrs["lane"]) for sp in spans if "lane" in sp.attrs}
+    )
+    name_ids = {name: i + 1 for i, name in enumerate(named)}
+    auto = _root_lanes(spans)
+    lanes: dict[int, int] = {}
+    offset = len(named)
+    for sp in spans:
+        if "lane" in sp.attrs:
+            lanes[sp.span_id] = name_ids[str(sp.attrs["lane"])]
+        else:
+            lanes[sp.span_id] = auto.get(sp.span_id, 1) + offset
+    return lanes, name_ids
+
+
 def chrome_trace_events(
     spans: Sequence[Span],
     pe_events: Iterable[tuple[int, int, float, float]] = (),
+    pe_groups: "dict[str, Iterable[tuple[int, int, float, float]]] | None"
+    = None,
 ) -> list[dict]:
-    """Build the ``traceEvents`` list for spans + PE activity."""
+    """Build the ``traceEvents`` list for spans + PE activity.
+
+    ``pe_events`` is the single-node form (one ``accelerator (cycles)``
+    process).  ``pe_groups`` maps a group name (e.g. a shard name) to
+    its own PE event list; each group gets its own pid so Perfetto
+    renders per-shard PE timelines as separate processes instead of
+    interleaving every shard's PE 0 on one track.
+    """
     events: list[dict] = [
         {
             "ph": "M", "pid": SPAN_PID, "tid": 0,
@@ -67,7 +100,14 @@ def chrome_trace_events(
         },
     ]
     origin = min((sp.start for sp in spans), default=0.0)
-    lanes = _root_lanes(spans)
+    lanes, name_ids = _span_lanes(spans)
+    for lane_name, tid in name_ids.items():
+        events.append(
+            {
+                "ph": "M", "pid": SPAN_PID, "tid": tid,
+                "name": "thread_name", "args": {"name": lane_name},
+            }
+        )
     for sp in sorted(spans, key=lambda s: (s.start, s.span_id)):
         events.append(
             {
@@ -83,20 +123,31 @@ def chrome_trace_events(
                 },
             }
         )
+    groups: list[tuple[str, list]] = []
     pe_list = list(pe_events)
     if pe_list:
+        groups.append(("", pe_list))
+    for group_name in sorted(pe_groups or ()):
+        group_events = list(pe_groups[group_name])
+        if group_events:
+            groups.append((group_name, group_events))
+    for index, (group_name, group_events) in enumerate(groups):
+        pid = PE_PID + index
+        label = "accelerator (cycles)"
+        if group_name:
+            label = f"{label} — {group_name}"
         events.append(
             {
-                "ph": "M", "pid": PE_PID, "tid": 0,
+                "ph": "M", "pid": pid, "tid": 0,
                 "name": "process_name",
-                "args": {"name": "accelerator (cycles)"},
+                "args": {"name": label},
             }
         )
-        for pe, level, start, end in pe_list:
+        for pe, level, start, end in group_events:
             events.append(
                 {
                     "ph": "X",
-                    "pid": PE_PID,
+                    "pid": pid,
                     "tid": int(pe),
                     "name": f"L{int(level)}",
                     "cat": "pe",
@@ -118,9 +169,11 @@ def write_chrome_trace(
     path: str | Path,
     spans: Sequence[Span],
     pe_events: Iterable[tuple[int, int, float, float]] = (),
+    pe_groups: "dict[str, Iterable[tuple[int, int, float, float]]] | None"
+    = None,
 ) -> list[dict]:
     """Write a Perfetto-loadable JSON file; returns the event list."""
-    events = chrome_trace_events(spans, pe_events)
+    events = chrome_trace_events(spans, pe_events, pe_groups)
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     Path(path).write_text(json.dumps(payload, indent=None))
     return events

@@ -1,0 +1,190 @@
+"""Metrics federation: ship compact deltas, merge under a ``shard`` label.
+
+A cluster has one :class:`~repro.obs.metrics.MetricsRegistry` per shard
+service plus one in the coordinator — N scrape targets for one logical
+system.  Federation folds them into a single registry the coordinator
+can expose:
+
+* :class:`MetricsSnapshot` — a picklable, compact description of what
+  changed in a registry since the last ship: counter *deltas*, gauge
+  *absolutes*, histogram *bucket-count deltas* (never quantiles).  Reply
+  envelopes on the comm layer carry one of these per ``query``/``health``
+  call, so federation costs one small tuple-of-tuples per round trip
+  rather than a full registry pickle.
+* :class:`MetricsDeltaTracker` — the shard-side bookkeeper that diffs
+  the live registry against the last shipped state.  Deltas compose:
+  applying every snapshot a shard ever shipped reproduces its registry
+  exactly, no matter how the round trips interleave.
+* :class:`FederatedMetrics` — the coordinator-side merge target.  Every
+  applied series gains a ``shard=<name>`` label; histograms are *also*
+  merged into a ``shard="all"`` aggregate by summing raw fixed-bucket
+  counts — the only statistically sound way to combine distributions
+  (percentile-of-percentiles is not a percentile).
+
+The coordinator's own registry federates through the same path under
+``shard="coordinator"``, so ``Coordinator.metrics_text()`` is one valid
+Prometheus exposition with every series attributed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .metrics import Counter, Gauge, Histogram, LabelItems, MetricsRegistry
+
+__all__ = [
+    "MetricsSnapshot",
+    "MetricsDeltaTracker",
+    "FederatedMetrics",
+    "AGGREGATE_SHARD",
+]
+
+#: reserved shard label value for cross-shard histogram aggregates
+AGGREGATE_SHARD = "all"
+
+#: series: (name, labels, value)
+_Series = tuple[str, LabelItems, float]
+#: histogram series: (name, labels, bounds, raw bucket deltas, sum, count)
+_HistSeries = tuple[
+    str, LabelItems, tuple[float, ...], tuple[int, ...], float, int
+]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Registry delta shipped in a comm reply envelope (picklable)."""
+
+    counters: tuple[_Series, ...] = ()
+    gauges: tuple[_Series, ...] = ()
+    histograms: tuple[_HistSeries, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+
+class MetricsDeltaTracker:
+    """Diff a live registry against the last shipped snapshot.
+
+    Counters and histogram buckets ship as deltas (merge-safe under
+    repeated application); gauges ship as absolutes whenever their value
+    changed — a gauge is a statement of current state, not an increment.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._counters: dict[tuple[str, LabelItems], float] = {}
+        self._gauges: dict[tuple[str, LabelItems], float] = {}
+        self._hists: dict[
+            tuple[str, LabelItems], tuple[tuple[int, ...], float, int]
+        ] = {}
+        self._lock = threading.Lock()
+
+    def collect(self) -> MetricsSnapshot:
+        """Snapshot everything that changed since the previous collect."""
+        counters: list[_Series] = []
+        gauges: list[_Series] = []
+        hists: list[_HistSeries] = []
+        with self._lock:
+            for metric in self._registry.iter_metrics():
+                key = (metric.name, metric.labels)
+                if isinstance(metric, Counter):
+                    value = metric.value
+                    delta = value - self._counters.get(key, 0.0)
+                    if delta != 0.0:
+                        counters.append((metric.name, metric.labels, delta))
+                        self._counters[key] = value
+                elif isinstance(metric, Gauge):
+                    value = metric.value
+                    if key not in self._gauges or self._gauges[key] != value:
+                        gauges.append((metric.name, metric.labels, value))
+                        self._gauges[key] = value
+                elif isinstance(metric, Histogram):
+                    counts = metric.raw_counts()
+                    total_sum, total_count = metric.sum, metric.count
+                    prev = self._hists.get(
+                        key, ((0,) * len(counts), 0.0, 0)
+                    )
+                    dcounts = tuple(
+                        c - p for c, p in zip(counts, prev[0])
+                    )
+                    dcount = total_count - prev[2]
+                    if dcount or any(dcounts):
+                        hists.append(
+                            (
+                                metric.name,
+                                metric.labels,
+                                metric.bounds,
+                                dcounts,
+                                total_sum - prev[1],
+                                dcount,
+                            )
+                        )
+                        self._hists[key] = (counts, total_sum, total_count)
+        return MetricsSnapshot(
+            counters=tuple(counters),
+            gauges=tuple(gauges),
+            histograms=tuple(hists),
+        )
+
+
+class FederatedMetrics:
+    """Merge per-shard snapshots into one shard-labelled registry."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _labels(labels: LabelItems, shard: str) -> dict[str, str]:
+        out = dict(labels)
+        out["shard"] = shard
+        return out
+
+    def apply(
+        self,
+        shard: str,
+        snapshot: MetricsSnapshot | None,
+        *,
+        aggregate: bool = True,
+    ) -> None:
+        """Fold one shard's delta in; optionally feed the ``all`` lanes.
+
+        ``aggregate=False`` is used for the coordinator's own registry —
+        its series are attributed (``shard="coordinator"``) but kept out
+        of the cross-shard histogram aggregate.
+        """
+        if snapshot is None or snapshot.empty:
+            return
+        with self._lock:
+            for name, labels, delta in snapshot.counters:
+                self.registry.counter(
+                    name, **self._labels(labels, shard)
+                ).inc(delta)
+            for name, labels, value in snapshot.gauges:
+                self.registry.gauge(
+                    name, **self._labels(labels, shard)
+                ).set(value)
+            for name, labels, bounds, counts, sum_, count in (
+                snapshot.histograms
+            ):
+                targets = [shard]
+                if aggregate:
+                    targets.append(AGGREGATE_SHARD)
+                for target in targets:
+                    self.registry.histogram(
+                        name,
+                        buckets=bounds,
+                        **self._labels(labels, target),
+                    ).add_counts(counts, sum_, count)
+
+    def render(self) -> str:
+        """Prometheus text exposition of the federated registry."""
+        return self.registry.render_prometheus()
+
+    def snapshot(self) -> dict[str, float]:
+        return self.registry.snapshot()

@@ -41,10 +41,26 @@ def _label_key(labels: dict[str, str]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format.
+
+    Backslash, double-quote and newline are the three characters the
+    exposition format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_suffix(labels: LabelItems) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
@@ -149,6 +165,38 @@ class Histogram:
     @property
     def sum(self) -> float:
         return self._sum
+
+    def raw_counts(self) -> tuple[int, ...]:
+        """Non-cumulative per-bucket counts; the last slot is ``+Inf``.
+
+        This is the mergeable representation: two histograms with the
+        same bounds federate by summing these slot-wise (never by
+        combining quantile estimates).
+        """
+        with self._lock:
+            return tuple(self._counts)
+
+    def add_counts(
+        self, counts: Iterable[int], sum_: float, count: int
+    ) -> None:
+        """Merge another histogram's raw per-bucket counts into this one.
+
+        ``counts`` must be non-cumulative with the same length as
+        :meth:`raw_counts` (i.e. the bucket bounds must match).
+        """
+        added = [int(c) for c in counts]
+        if len(added) != len(self._counts):
+            raise ValueError(
+                f"bucket mismatch merging into {self.name!r}: "
+                f"got {len(added)} slots, have {len(self._counts)}"
+            )
+        if any(c < 0 for c in added) or count < 0:
+            raise ValueError("histogram merge counts must be >= 0")
+        with self._lock:
+            for i, c in enumerate(added):
+                self._counts[i] += c
+            self._sum += float(sum_)
+            self._count += int(count)
 
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative count per upper bound (``inf`` for the last)."""
@@ -269,6 +317,10 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def iter_metrics(self) -> list[object]:
+        """Stable-ordered list of every live metric object."""
+        return self._sorted_metrics()
+
     def _sorted_metrics(self) -> list[object]:
         with self._lock:
             return [
@@ -294,7 +346,7 @@ class MetricsRegistry:
                 seen_header.add(name)
                 help_ = self._help.get(name, "")
                 if help_:
-                    lines.append(f"# HELP {name} {help_}")
+                    lines.append(f"# HELP {name} {_escape_help(help_)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
             for sample_name, value in metric.samples():
                 lines.append(f"{sample_name} {value:g}")

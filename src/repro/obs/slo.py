@@ -1,0 +1,203 @@
+"""Declarative SLOs with error-budget burn rates over rolling windows.
+
+An :class:`SLO` states an objective — "p99 query latency <= 250 ms" or
+"error rate <= 1%" — and :class:`SLOTracker` evaluates every registered
+objective against the shared :class:`~repro.obs.summary.Window` of
+recent samples.  Two kinds:
+
+* ``latency`` — met when the ``percentile``-th percentile of recent
+  latencies is <= ``target`` seconds.  The error budget is the fraction
+  of requests *allowed* to exceed the target (``1 - percentile/100``);
+  the burn rate is the observed slow fraction divided by that allowance.
+* ``error_rate`` — met when the fraction of failed requests is <=
+  ``target``; the budget is ``target`` itself and the burn rate is
+  ``observed / target``.
+
+A burn rate of 1.0 means the budget is being consumed exactly as fast
+as it accrues; > 1.0 means the objective is being violated over the
+window.  The tracker is the hook ROADMAP item 4's admission control
+will consume: :meth:`SLOTracker.evaluate` is cheap (one percentile over
+a bounded window per latency SLO) and side-effect free, so schedulers
+can poll it per decision.
+
+The cluster :class:`~repro.cluster.coordinator.Coordinator` feeds one
+tracker from its scatter/gather path and surfaces the statuses as the
+``slo`` section of :class:`~repro.cluster.coordinator.ClusterHealth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .summary import Window, percentile
+
+__all__ = [
+    "SLO",
+    "SLOStatus",
+    "SLOTracker",
+    "DEFAULT_SLOS",
+    "statuses_to_dict",
+]
+
+_KINDS = ("latency", "error_rate")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    ``kind="latency"``: ``target`` is seconds, ``percentile`` picks the
+    rank (e.g. 99.0 → p99 <= target, 1% allowed over budget).
+    ``kind="error_rate"``: ``target`` is the allowed failure fraction in
+    (0, 1); ``percentile`` is ignored.
+    """
+
+    name: str
+    kind: str
+    target: float
+    percentile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.target <= 0:
+            raise ValueError(f"SLO target must be > 0, got {self.target}")
+        if self.kind == "error_rate" and self.target >= 1:
+            raise ValueError(
+                f"error-rate target must be < 1, got {self.target}"
+            )
+        if self.kind == "latency" and not 0 < self.percentile < 100:
+            raise ValueError(
+                f"latency percentile must be in (0, 100), "
+                f"got {self.percentile}"
+            )
+
+    @property
+    def budget_fraction(self) -> float:
+        """Fraction of requests allowed to violate the objective."""
+        if self.kind == "latency":
+            return 1.0 - self.percentile / 100.0
+        return self.target
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """Point-in-time evaluation of one SLO (picklable, JSON-friendly)."""
+
+    name: str
+    kind: str
+    target: float
+    observed: float
+    met: bool
+    bad_fraction: float
+    budget_fraction: float
+    burn_rate: float
+    samples: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "observed": self.observed,
+            "met": self.met,
+            "bad_fraction": self.bad_fraction,
+            "budget_fraction": self.budget_fraction,
+            "burn_rate": self.burn_rate,
+            "samples": self.samples,
+        }
+
+    def line(self) -> str:
+        state = "OK " if self.met else "VIOLATED"
+        if self.kind == "latency":
+            detail = f"observed={self.observed * 1e3:.1f}ms " \
+                     f"target={self.target * 1e3:.1f}ms"
+        else:
+            detail = f"observed={self.observed:.2%} target={self.target:.2%}"
+        return (
+            f"{self.name}: {state} {detail} "
+            f"burn={self.burn_rate:.2f}x n={self.samples}"
+        )
+
+
+#: conservative defaults for the cluster coordinator: interactive-ish
+#: latency plus a 1% error budget
+DEFAULT_SLOS = (
+    SLO(name="query_latency_p99", kind="latency", target=2.0,
+        percentile=99.0),
+    SLO(name="query_error_rate", kind="error_rate", target=0.01),
+)
+
+
+class SLOTracker:
+    """Evaluate a set of SLOs over bounded windows of recent requests.
+
+    ``record(seconds, ok=...)`` is called once per finished request;
+    ``evaluate()`` returns ``{slo_name: SLOStatus}``.  With no samples
+    every objective is trivially met (burn rate 0) — an idle service has
+    not burned budget.
+    """
+
+    def __init__(
+        self,
+        slos: Iterable[SLO] = DEFAULT_SLOS,
+        window: int = 1024,
+    ) -> None:
+        self.slos = tuple(slos)
+        names = [s.name for s in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self._latency = Window(window)
+        self._errors = Window(window)
+
+    def record(self, seconds: float, ok: bool = True) -> None:
+        self._latency.add(float(seconds))
+        self._errors.add(0.0 if ok else 1.0)
+
+    def _evaluate_one(self, slo: SLO) -> SLOStatus:
+        if slo.kind == "latency":
+            samples = self._latency.values()
+            observed = percentile(samples, slo.percentile)
+            bad = (
+                sum(1 for s in samples if s > slo.target) / len(samples)
+                if samples
+                else 0.0
+            )
+            met = observed <= slo.target
+        else:
+            samples = self._errors.values()
+            observed = sum(samples) / len(samples) if samples else 0.0
+            bad = observed
+            met = observed <= slo.target
+        budget = slo.budget_fraction
+        burn = bad / budget if samples else 0.0
+        return SLOStatus(
+            name=slo.name,
+            kind=slo.kind,
+            target=slo.target,
+            observed=observed,
+            met=met,
+            bad_fraction=bad,
+            budget_fraction=budget,
+            burn_rate=burn,
+            samples=len(samples),
+        )
+
+    def evaluate(self) -> dict[str, SLOStatus]:
+        return {slo.name: self._evaluate_one(slo) for slo in self.slos}
+
+    def violated(self) -> list[SLOStatus]:
+        return [st for st in self.evaluate().values() if not st.met]
+
+    def summary(self) -> str:
+        return "\n".join(st.line() for st in self.evaluate().values())
+
+
+def statuses_to_dict(
+    statuses: Mapping[str, SLOStatus],
+) -> dict[str, dict[str, object]]:
+    """JSON-friendly form of an ``evaluate()`` result."""
+    return {name: st.to_dict() for name, st in statuses.items()}

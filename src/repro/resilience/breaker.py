@@ -55,6 +55,9 @@ class CircuitBreaker:
         recovery_seconds: float = 30.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[
+            [str, BreakerState, BreakerState], None
+        ] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -63,6 +66,11 @@ class CircuitBreaker:
         self.recovery_seconds = recovery_seconds
         self.half_open_probes = max(int(half_open_probes), 1)
         self._clock = clock
+        #: called as (engine, old_state, new_state) on every transition,
+        #: while the breaker lock is held — keep it cheap and never call
+        #: back into the breaker (the flight recorder's deque append is
+        #: the intended shape)
+        self._on_transition = on_transition
         self._state = BreakerState.CLOSED
         self._consecutive = 0
         self._failures = 0
@@ -77,8 +85,11 @@ class CircuitBreaker:
 
     def _set_state(self, state: BreakerState) -> None:
         if state is not self._state:
+            old = self._state
             self._state = state
             self._transitions += 1
+            if self._on_transition is not None:
+                self._on_transition(self.engine, old, state)
 
     def allow(self) -> bool:
         """May a job be dispatched to this engine right now?
@@ -166,12 +177,16 @@ class BreakerBoard:
         recovery_seconds: float = 30.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[
+            [str, BreakerState, BreakerState], None
+        ] | None = None,
     ) -> None:
         self._kwargs = dict(
             failure_threshold=failure_threshold,
             recovery_seconds=recovery_seconds,
             half_open_probes=half_open_probes,
             clock=clock,
+            on_transition=on_transition,
         )
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()

@@ -70,6 +70,7 @@ from ..errors import (
 )
 from ..obs import MetricsRegistry, Observation, Tracer
 from ..obs.export import chrome_trace_events
+from ..obs.flight import FlightRecorder
 from ..patterns.plan import build_plan
 from ..resilience import (
     BreakerBoard,
@@ -181,6 +182,10 @@ class QueryService:
         self._profiles: deque["ExecutionProfile"] = deque(
             maxlen=PROFILE_LIMIT
         )
+        # the flight recorder is always on, like the metrics: one bounded
+        # deque append per lifecycle event, dumped on demand or when the
+        # cluster layer sees this service degrade
+        self.flight = FlightRecorder(name=f"service-{mode}")
         self._seq = itertools.count()
         self._job_ids = itertools.count(1)
         self._cond = threading.Condition()
@@ -203,6 +208,7 @@ class QueryService:
                 recovery_seconds=self.resilience.recovery_seconds,
                 half_open_probes=self.resilience.half_open_probes,
                 clock=clock,
+                on_transition=self._on_breaker_transition,
             )
             if self.resilience.enabled
             else None
@@ -221,6 +227,18 @@ class QueryService:
         self._crosscheck_mismatches = 0
         self._faults_injected = 0
         self._dispatcher_stuck = False
+
+    def _on_breaker_transition(self, engine, old, new) -> None:
+        """Breaker state changes land in the flight recorder (one append;
+        called with the breaker lock held, so nothing heavier belongs
+        here)."""
+        self.flight.record(
+            "breaker_trip" if new is BreakerState.OPEN
+            else "breaker_transition",
+            engine=engine,
+            from_state=old.name.lower(),
+            to_state=new.name.lower(),
+        )
 
     # -- graph registry ----------------------------------------------------
 
@@ -300,6 +318,13 @@ class QueryService:
             ).inc()
             with self._cond:
                 self._shed += 1
+            self.flight.record(
+                "shed",
+                graph_id=graph_id,
+                pattern=pattern.name,
+                priority=priority,
+                queue_depth=self._queue.depth(),
+            )
             raise LoadShedError(
                 f"service overloaded (queue {self._queue.depth()}/"
                 f"{self._queue.limit}); shed priority-{priority} "
@@ -334,6 +359,14 @@ class QueryService:
         self.metrics.counter(
             "repro_jobs_submitted_total", "jobs accepted by submit()"
         ).inc()
+        self.flight.record(
+            "submit",
+            job_id=handle.job_id,
+            graph_id=graph_id,
+            pattern=pattern.name,
+            engine=cfg.engine,
+            priority=priority,
+        )
         ob = self._observation
         job_span = (
             ob.tracer.start_span(
@@ -492,6 +525,9 @@ class QueryService:
             "repro_jobs_timed_out_total", "jobs whose deadline expired"
         ).inc()
         self._end_job_span(job, "timeout")
+        self.flight.record(
+            "timeout", job_id=job.handle.job_id, where="queued"
+        )
         with self._cond:
             self._timed_out += 1
 
@@ -592,6 +628,12 @@ class QueryService:
         job.attempts += 1
         job.handle.attempts = job.attempts
         job.handle._set_running()
+        self.flight.record(
+            "dispatch",
+            job_id=job.handle.job_id,
+            engine=job.config.engine,
+            attempt=job.attempts,
+        )
         job.dispatched_at = time.perf_counter()
         if job.queued_span is not None and self._observation is not None:
             self._observation.tracer.end_span(job.queued_span)
@@ -697,6 +739,13 @@ class QueryService:
             from_engine=engine,
             to_engine=fallback,
         ).inc()
+        self.flight.record(
+            "reroute",
+            job_id=job.handle.job_id,
+            from_engine=engine,
+            to_engine=fallback,
+            reason=reason,
+        )
         with self._cond:
             self._rerouted += 1
 
@@ -806,9 +855,13 @@ class QueryService:
                 self.metrics.counter(
                     "repro_jobs_completed_total", "jobs finished successfully"
                 ).inc()
-                self._latency.record(
-                    job.config.engine,
-                    time.perf_counter() - job.dispatched_at,
+                elapsed = time.perf_counter() - job.dispatched_at
+                self._latency.record(job.config.engine, elapsed)
+                self.flight.record(
+                    "done",
+                    job_id=job.handle.job_id,
+                    engine=job.config.engine,
+                    seconds=elapsed,
                 )
                 with self._cond:
                     self._completed += 1
@@ -832,6 +885,12 @@ class QueryService:
             ).inc()
             with self._cond:
                 self._retries += 1
+            self.flight.record(
+                "retry",
+                job_id=job.handle.job_id,
+                attempt=job.attempts,
+                error=type(exc).__name__,
+            )
             if self._observation is not None and job.span is not None:
                 job.queued_span = self._observation.tracer.start_span(
                     "service.queued", parent=job.span, retry=job.attempts
@@ -907,6 +966,12 @@ class QueryService:
             "repro_jobs_failed_total", "jobs that exhausted their retries"
         ).inc()
         self._end_job_span(job, "failed")
+        self.flight.record(
+            "failed",
+            job_id=job.handle.job_id,
+            engine=job.config.engine,
+            error=type(exc).__name__ if exc is not None else "unknown",
+        )
         if exc is not None and job.handle._finish(
             JobStatus.FAILED, error=exc
         ):
@@ -967,6 +1032,12 @@ class QueryService:
                 "jobs whose deadline expired",
             ).inc()
             self._end_job_span(job, "timeout")
+            self.flight.record(
+                "abandoned",
+                job_id=job.handle.job_id,
+                engine=job.config.engine,
+                attempt=job.attempts,
+            )
             job.handle._finish(JobStatus.TIMEOUT)
             with self._cond:
                 self._in_flight -= 1

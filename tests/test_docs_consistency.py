@@ -131,3 +131,60 @@ class TestBenchmarkCoverage:
             "bench_fig19_bitmap.py",
         ):
             assert required in benches, required
+
+
+class TestClusterObservabilityDocs:
+    @pytest.fixture(scope="class")
+    def architecture(self):
+        return (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_readme_section(self, readme):
+        assert "### Observability across the cluster" in readme
+        for phrase in (
+            "TraceContext", "python -m repro top",
+            "python -m repro flight --dump", 'shard="all"',
+            "flight recorder", "SLO", "BENCH_obs.json",
+        ):
+            assert phrase in readme, phrase
+
+    def test_architecture_section(self, architecture):
+        assert "## Observability across the cluster" in architecture
+        for phrase in (
+            "TraceContext", "MetricsSnapshot", "burn rate",
+            "FlightRecorder", "REPRO_FLIGHT_DIR", "re-anchor",
+            "error budget",
+        ):
+            assert phrase in architecture, phrase
+
+    def test_cli_surface_matches_docs(self, readme):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = parser._subparsers._group_actions[0]
+        for name in ("top", "flight", "stats", "health"):
+            assert name in sub.choices, name
+            assert f"python -m repro {name}" in readme, name
+        # the machine-readable flags exist on both surfaces
+        for cmd in ("stats", "health"):
+            assert "--json" in [
+                opt
+                for action in sub.choices[cmd]._actions
+                for opt in action.option_strings
+            ], cmd
+
+    def test_documented_obs_api_exists(self):
+        from repro import obs
+
+        for name in (
+            "TraceContext", "MetricsSnapshot", "FederatedMetrics",
+            "SLO", "SLOTracker", "FlightRecorder", "collect_job_spans",
+        ):
+            assert hasattr(obs, name), name
+
+    def test_referenced_files_exist(self, readme, architecture):
+        for rel in (
+            "benchmarks/bench_obs_overhead.py",
+            "tests/test_obs_cluster.py",
+        ):
+            assert (ROOT / rel).exists(), rel
+            assert rel in readme or rel in architecture, rel

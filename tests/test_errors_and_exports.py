@@ -95,7 +95,7 @@ class TestPackageSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_public_docstrings(self):
         """Every public class/function in the core API carries a docstring."""

@@ -230,3 +230,64 @@ class TestMetricsRegistry:
 
     def test_default_percentiles_constant(self):
         assert DEFAULT_PERCENTILES == (50, 90, 99)
+
+
+class TestPrometheusExposition:
+    """Text-format edge cases: escaping, empty registries, monotone merges."""
+
+    def test_label_values_escape_specials(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "c", "help", path='a"b', note="line1\nline2", win="a\\b"
+        ).inc()
+        text = reg.render_prometheus()
+        assert 'path="a\\"b"' in text
+        assert 'note="line1\\nline2"' in text
+        assert 'win="a\\\\b"' in text
+        # the raw specials never appear unescaped inside a label value
+        assert 'path="a"b"' not in text
+
+    def test_help_text_escapes_newlines_and_backslashes(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "first\nsecond \\ third").inc()
+        help_lines = [
+            line for line in reg.render_prometheus().splitlines()
+            if line.startswith("# HELP")
+        ]
+        assert help_lines == ["# HELP c first\\nsecond \\\\ third"]
+
+    def test_empty_registry_renders_valid_text(self):
+        # an exposition with no series is just an empty body
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_empty_federated_registry_renders_valid_text(self):
+        from repro.obs.federation import FederatedMetrics
+
+        text = FederatedMetrics().render()
+        assert not [
+            line for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+
+    def test_merged_histogram_buckets_stay_monotone(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "l", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        # merge a remote shard's raw (non-cumulative) slot counts
+        hist.add_counts((2, 1, 3), 9.5, 6)
+        snap = reg.snapshot()
+        series = [
+            snap['lat_bucket{le="0.1"}'],
+            snap['lat_bucket{le="1"}'],
+            snap['lat_bucket{le="+Inf"}'],
+        ]
+        assert series == sorted(series)  # cumulative ⇒ non-decreasing
+        assert series[-1] == snap["lat_count"] == 7.0
+
+    def test_add_counts_rejects_bad_shapes(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "l", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            hist.add_counts((1, 2), 1.0, 3)  # wrong slot count
+        with pytest.raises(ValueError):
+            hist.add_counts((1, -1, 0), 1.0, 0)  # negative slot
