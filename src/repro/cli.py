@@ -370,12 +370,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         transport=args.transport,
         mode=args.mode,
         max_workers=1,
+        replicas=args.replicas,
     ) as cluster:
         coord = cluster.coordinator
         gid = coord.register_graph(graph)
+        replicas_note = (
+            f" x{args.replicas} replicas" if args.replicas > 1 else ""
+        )
         print(
             f"{graph.name}: {graph.num_vertices} vertices sharded "
-            f"{args.shards} ways over {args.transport!r} "
+            f"{args.shards} ways{replicas_note} over {args.transport!r} "
             f"({args.mode}-mode workers)"
         )
         for i, pattern in enumerate(patterns):
@@ -392,6 +396,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 if info["partial"]
                 else f"exact, matches single-node {reference}"
             )
+            if info.get("failovers"):
+                status += f", {info['failovers']} failover(s)"
             print(
                 f"{pattern.name:<6} {report.embeddings:>10} embeddings "
                 f"from {info['ok']}/{info['queried']} shards   [{status}]"
@@ -646,6 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("inline", "thread", "process"),
                          default="inline",
                          help="worker pool mode inside each shard")
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="workers per shard group; >= 2 enables "
+                              "automatic failover when a replica dies")
     cluster.add_argument("--kill", type=int, default=-1,
                          help="chaos: kill this shard index before the "
                               "last pattern (-1 = don't)")

@@ -21,7 +21,7 @@ Quickstart::
 
 from .comm import available_transports, get_transport, register_transport
 from .coordinator import ClusterHealth, Coordinator, LocalCluster
-from .merge import merge_reports
+from .merge import dedupe_replies, merge_replies, merge_reports
 from .partition import (
     ShardSpec,
     contiguous_cuts,
@@ -29,20 +29,34 @@ from .partition import (
     induced_subgraph,
     make_shards,
 )
+from .replication import (
+    HealthProber,
+    HedgePolicy,
+    ReplicaGroup,
+    ReplicaState,
+    RetryPolicy,
+)
 from .worker import ShardWorker
 
 __all__ = [
     "ClusterHealth",
     "Coordinator",
+    "HealthProber",
+    "HedgePolicy",
     "LocalCluster",
+    "ReplicaGroup",
+    "ReplicaState",
+    "RetryPolicy",
     "ShardSpec",
     "ShardWorker",
     "available_transports",
     "contiguous_cuts",
+    "dedupe_replies",
     "get_transport",
     "halo_vertices",
     "induced_subgraph",
     "make_shards",
+    "merge_replies",
     "merge_reports",
     "register_transport",
 ]

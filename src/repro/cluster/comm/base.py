@@ -101,8 +101,23 @@ def frame_size(header: bytes) -> int:
 
 
 def decode_body(body: bytes) -> Any:
-    """Deserialise one frame body."""
-    return pickle.loads(body)
+    """Deserialise one frame body.
+
+    A body that does not unpickle — a corrupt length prefix silently
+    misaligned the stream, or the peer sent garbage — raises a typed
+    :class:`~repro.errors.CommError` so readers fail fast instead of
+    propagating whatever :mod:`pickle` felt like raising (or, worse,
+    blocking forever on a frame boundary that will never line up again).
+    """
+    try:
+        return pickle.loads(body)
+    except CommError:
+        raise
+    except Exception as exc:
+        raise CommError(
+            f"undecodable {len(body)}-byte frame body "
+            f"(corrupt stream?): {exc!r}"
+        ) from exc
 
 
 _TRANSPORTS: dict[str, Callable[[], Transport]] = {}

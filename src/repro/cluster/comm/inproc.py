@@ -10,6 +10,15 @@ debug sharding bugs, not socket weather.
 Closed listeners stay in the table as tombstones: a connection made
 before the close raises :class:`~repro.errors.CommClosedError` on its
 next request, the same observable behaviour as a dead TCP peer.
+:meth:`InprocListener.reopen` flips a tombstone live again — the chaos
+stand-in for a crashed shard process restarting on the same address —
+and existing connections resume working, like a reconnecting client.
+
+Requests pass through the comm fault sites (``comm.send`` before the
+handler, ``comm.recv`` after) when an injector is armed via
+:func:`repro.resilience.inject_comm`; a ``comm.recv`` DROP therefore
+loses the reply *after* the handler did the work — the ambiguous
+failure replication has to tolerate.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import threading
 from typing import Any
 
 from ...errors import CommClosedError
+from ...resilience import faults as _faults
 from .base import Handler, register_transport
 
 __all__ = ["InprocTransport", "InprocListener", "InprocConnection"]
@@ -56,6 +66,12 @@ class InprocListener:
     def close(self) -> None:
         self._closed = True
 
+    def reopen(self) -> None:
+        """Come back up on the same address (a restarted peer)."""
+        with _lock:
+            _listeners[self._address] = self
+        self._closed = False
+
 
 class InprocConnection:
     def __init__(self, listener: InprocListener) -> None:
@@ -67,7 +83,13 @@ class InprocConnection:
         # call cannot be interrupted, so it is not enforced here
         if self._closed:
             raise CommClosedError("connection is closed")
-        return self._listener.handle(payload)
+        inj = _faults.comm_active()
+        if inj is not None:
+            inj.comm("comm.send")
+        value = self._listener.handle(payload)
+        if inj is not None:
+            inj.comm("comm.recv")
+        return value
 
     def close(self) -> None:
         self._closed = True

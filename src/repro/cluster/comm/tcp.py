@@ -15,6 +15,22 @@ A request that times out poisons its connection (the reply may arrive
 mid-frame later), so the connection closes itself and the caller gets
 :class:`~repro.errors.CommTimeoutError`; reconnecting is the caller's
 policy (the coordinator's breakers handle exactly this).
+
+Two hardening rules keep a hostile or corrupt stream from wedging a
+reader:
+
+* **per-frame body timeout** — once a length prefix arrives, the body
+  must follow within :data:`FRAME_BODY_TIMEOUT` seconds.  Waiting for a
+  *header* may block forever (an idle connection is healthy); waiting
+  mid-frame may not (a peer that sent a prefix and stalled is broken or
+  lying about the length).
+* **typed corrupt-frame failure** — an over-cap length prefix or an
+  undecodable body raises :class:`~repro.errors.CommError`; the server
+  closes that connection (frames can never re-align on a poisoned
+  stream) but keeps serving other peers.
+
+:meth:`TCPListener.reopen` rebinds the same port after a chaos
+:meth:`close` — the stand-in for a crashed shard host coming back.
 """
 
 from __future__ import annotations
@@ -25,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from ...errors import CommClosedError, CommError, CommTimeoutError
+from ...resilience import faults as _faults
 from .base import (
     FRAME_HEADER,
     Handler,
@@ -38,6 +55,10 @@ __all__ = ["TCPTransport", "TCPListener", "TCPConnection"]
 
 #: worker threads per listener for blocking handler calls
 HANDLER_THREADS = 8
+
+#: seconds a reader waits for the *body* after its length prefix arrived
+#: (module attribute, read per frame, so chaos tests can shrink it)
+FRAME_BODY_TIMEOUT = 30.0
 
 _loop_lock = threading.Lock()
 _loop: asyncio.AbstractEventLoop | None = None
@@ -71,17 +92,24 @@ def _run(coro, timeout: float | None = None):
 
 async def _read_frame(reader: asyncio.StreamReader) -> Any:
     header = await reader.readexactly(FRAME_HEADER.size)
-    body = await reader.readexactly(frame_size(header))
+    size = frame_size(header)
+    try:
+        body = await asyncio.wait_for(
+            reader.readexactly(size), timeout=FRAME_BODY_TIMEOUT
+        )
+    except asyncio.TimeoutError:
+        raise CommTimeoutError(
+            f"frame body ({size} bytes) did not arrive within "
+            f"{FRAME_BODY_TIMEOUT}s of its length prefix"
+        ) from None
     return decode_body(body)
 
 
 class TCPListener:
     def __init__(self, handler: Handler, name: str = "") -> None:
         self._handler = handler
-        self._pool = ThreadPoolExecutor(
-            max_workers=HANDLER_THREADS,
-            thread_name_prefix=f"comm-{name or 'listener'}",
-        )
+        self._name = name
+        self._pool = self._make_pool()
         self._writers: set[asyncio.StreamWriter] = set()
         self._closed = False
         self._server: asyncio.AbstractServer = _run(
@@ -89,7 +117,14 @@ class TCPListener:
         )
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
+        self._port = port
         self._address = f"tcp://{host}:{port}"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=HANDLER_THREADS,
+            thread_name_prefix=f"comm-{self._name or 'listener'}",
+        )
 
     @property
     def address(self) -> str:
@@ -102,7 +137,15 @@ class TCPListener:
         loop = asyncio.get_running_loop()
         try:
             while True:
-                payload = await _read_frame(reader)
+                try:
+                    payload = await _read_frame(reader)
+                except CommError:
+                    # corrupt length prefix, undecodable body, or a
+                    # mid-frame stall: the stream can never re-align on
+                    # a frame boundary again — drop this peer (typed,
+                    # deliberate, logged by the close), keep serving
+                    # everyone else
+                    break
                 try:
                     result = await loop.run_in_executor(
                         self._pool, self._handler, payload
@@ -138,6 +181,24 @@ class TCPListener:
         _run(_shut(), timeout=5.0)
         self._pool.shutdown(wait=False, cancel_futures=True)
 
+    def reopen(self) -> None:
+        """Rebind the same port after :meth:`close` (a restarted peer).
+
+        Existing client connections stay dead — they were aborted and
+        their streams poisoned — so callers reconnect, exactly as they
+        would to a rebooted host.
+        """
+        if not self._closed:
+            return
+        self._pool = self._make_pool()
+        self._server = _run(
+            asyncio.start_server(
+                self._serve, host="127.0.0.1", port=self._port
+            ),
+            timeout=10.0,
+        )
+        self._closed = False
+
 
 class TCPConnection:
     def __init__(self, address: str) -> None:
@@ -156,8 +217,8 @@ class TCPConnection:
         self._lock = threading.Lock()  # one request in flight at a time
         self._closed = False
 
-    async def _roundtrip(self, payload: Any) -> Any:
-        self._writer.write(encode_frame(payload))
+    async def _roundtrip(self, frame: bytes) -> Any:
+        self._writer.write(frame)
         await self._writer.drain()
         return await _read_frame(self._reader)
 
@@ -165,11 +226,22 @@ class TCPConnection:
         with self._lock:
             if self._closed:
                 raise CommClosedError("connection is closed")
+            frame = encode_frame(payload)
+            inj = _faults.comm_active()
+            if inj is not None:
+                inj.comm("comm.send")
+                frame = inj.corrupt_frame("comm.send", frame)
             try:
-                status, value = _run(self._roundtrip(payload), timeout)
+                status, value = _run(self._roundtrip(frame), timeout)
             except CommTimeoutError:
                 # the reply may still arrive mid-frame later; this stream
                 # can never be trusted again
+                self.close()
+                raise
+            except CommError:
+                # typed corrupt-reply failure (bad prefix / garbage
+                # body): same poisoning rule — close, reconnecting is
+                # the caller's policy
                 self.close()
                 raise
             except (
@@ -181,6 +253,8 @@ class TCPConnection:
                 raise CommClosedError(
                     f"peer at {self._address} is gone: {exc!r}"
                 ) from exc
+            if inj is not None:
+                inj.comm("comm.recv")
         if status == "err":
             raise value
         return value

@@ -2,25 +2,46 @@
 
 ``register_graph`` cuts a CSR graph into contiguous vertex-range shards
 (:mod:`repro.cluster.partition`) and ships each induced subgraph — with
-its owned local root range — to one :class:`ShardWorker`.  A query then
-scatters as per-shard root-restricted subqueries (fanned out on a thread
-pool, one in-flight request per shard connection) and the replies gather
-through :func:`repro.cluster.merge.merge_reports`.
+its owned local root range — to every replica of one shard group.  A
+query then scatters as per-shard root-restricted subqueries (fanned out
+on a thread pool) and the replies gather through the exactly-once
+:func:`repro.cluster.merge.merge_replies`.
 
 Resilience reuses the service layer's own machinery at cluster scope:
 
-* every shard gets a :class:`~repro.resilience.BreakerBoard` circuit —
-  comm failures and timeouts trip it, and an open breaker skips the
-  shard without burning a timeout on a peer known to be down;
-* a dead or hung shard *degrades* the query instead of failing it: the
-  merged report carries ``notes["cluster"]["partial"] = True`` plus the
-  failed shard names, and only a query with **zero** surviving shards
-  raises :class:`~repro.errors.ClusterError`;
-* :meth:`Coordinator.health` gathers per-shard
+* every *replica* gets a :class:`~repro.resilience.BreakerBoard` circuit
+  — comm failures and timeouts trip it, and an open breaker skips the
+  replica without burning a timeout on a peer known to be down;
+* with ``cluster_replicas >= 2`` each shard is a
+  :class:`~repro.cluster.replication.ReplicaGroup`: a failed subquery
+  **fails over** to the next-healthiest replica (immediately within the
+  first pass, with capped exponential backoff between retry rounds, all
+  bounded by a per-query deadline budget), and an optional
+  :class:`~repro.cluster.replication.HedgePolicy` duplicates straggler
+  subqueries to a second replica, first success wins, the loser's reply
+  dropped before the merge;
+* a shard whose *every* replica fails degrades the query instead of
+  failing it: the merged report carries
+  ``notes["cluster"]["partial"] = True`` plus the failed shard names,
+  and only a query with **zero** surviving shards raises
+  :class:`~repro.errors.ClusterError` — with a single replica per shard
+  this is exactly the pre-replication behaviour;
+* a :class:`~repro.cluster.replication.HealthProber` (opt-in via
+  ``probe_interval``) pings replicas over dedicated connections, evicts
+  them from rotation after ``probe_failures`` consecutive failures, and
+  reintegrates them after passing probes — re-registering every graph
+  on the rejoining replica first, so it never serves a query it cannot
+  answer;
+* :meth:`Coordinator.health` gathers per-replica
   :class:`~repro.resilience.HealthReport`\\ s into a
-  :class:`ClusterHealth` whose state is the worst shard state, forced to
-  at least ``DEGRADED`` while any shard is unreachable or any breaker is
-  non-closed.
+  :class:`ClusterHealth` whose state is the worst replica state, forced
+  to at least ``DEGRADED`` while any replica is unreachable or any
+  breaker is non-closed.
+
+Flight-recorder hygiene: a shard that keeps failing under sustained
+chaos records **one** ``shard_failure`` event per incident (cleared by
+the next success, which records ``shard_recovered``) — the black box
+stays a readable story instead of one line per failed query.
 """
 
 from __future__ import annotations
@@ -28,7 +49,9 @@ from __future__ import annotations
 import json
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -42,14 +65,18 @@ from ..obs.cluster import TraceContext, new_trace_id
 from ..obs.export import chrome_trace_events
 from ..obs.federation import FederatedMetrics, MetricsDeltaTracker
 from ..obs.flight import FlightRecorder
-from ..obs.slo import DEFAULT_SLOS, SLO, SLOStatus, SLOTracker
+from ..obs.slo import DEFAULT_SLOS, REPLICATED_SLOS, SLO, SLOStatus, \
+    SLOTracker
+from ..obs.summary import Window
 from ..obs.tracing import Span
 from ..patterns.plan import build_plan
 from ..resilience import BreakerBoard, BreakerState, HealthReport, \
     HealthState
 from .comm.base import Connection, Transport, get_transport
-from .merge import merge_reports
-from .partition import make_shards
+from .merge import merge_replies
+from .partition import ShardSpec, make_shards
+from .replication import HealthProber, HedgePolicy, ReplicaGroup, \
+    ReplicaState, RetryPolicy
 from .worker import ShardWorker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -63,18 +90,23 @@ __all__ = ["Coordinator", "ClusterHealth", "LocalCluster"]
 #: per-shard execution profiles retained for PE-lane trace export
 PROFILE_LIMIT = 256
 
+#: recent per-shard request latencies kept for hedge-delay estimation
+LATENCY_WINDOW = 256
+
 
 @dataclass(frozen=True)
 class ClusterHealth:
-    """Aggregated cluster condition (per-shard reports + comm breakers)."""
+    """Aggregated cluster condition (per-replica reports + comm breakers)."""
 
     state: HealthState
-    #: shard name → its service's health report, or None if unreachable
+    #: replica name → its service's health report, or None if unreachable
     shards: "Mapping[str, HealthReport | None]" = field(default_factory=dict)
-    #: coordinator-side comm breaker snapshots, keyed by shard name
+    #: coordinator-side comm breaker snapshots, keyed by replica name
     breakers: "Mapping[str, BreakerSnapshot]" = field(default_factory=dict)
     #: SLO name → point-in-time status (empty when no tracker is wired)
     slo: "Mapping[str, SLOStatus]" = field(default_factory=dict)
+    #: shard group → replica → routing state ("healthy"/"suspect"/"evicted")
+    replicas: "Mapping[str, Mapping[str, str]]" = field(default_factory=dict)
 
     @property
     def dead(self) -> tuple[str, ...]:
@@ -87,6 +119,15 @@ class ClusterHealth:
         return tuple(
             sorted(n for n, st in self.slo.items() if not st.met)
         )
+
+    @property
+    def evicted(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            replica
+            for group in self.replicas.values()
+            for replica, state in group.items()
+            if state == "evicted"
+        ))
 
     def summary(self) -> str:
         lines = [
@@ -107,6 +148,10 @@ class ClusterHealth:
         for name, snap in sorted(self.breakers.items()):
             if snap.state != "closed":
                 lines.append(f"  breaker[{name}]: {snap.state}")
+        for group in sorted(self.replicas):
+            for replica, state in sorted(self.replicas[group].items()):
+                if state != "healthy":
+                    lines.append(f"  replica {replica}: {state}")
         for name in sorted(self.slo):
             lines.append(f"  slo {self.slo[name].line()}")
         return "\n".join(lines)
@@ -144,16 +189,67 @@ class ClusterHealth:
                 name: status.to_dict()
                 for name, status in self.slo.items()
             },
+            "replicas": {
+                group: dict(states)
+                for group, states in self.replicas.items()
+            },
         }
 
 
 @dataclass
-class _ShardBinding:
-    """Coordinator-side record of one connected shard."""
+class _Replica:
+    """Coordinator-side record of one connected replica."""
 
     name: str
     address: str
-    conn: Connection
+    shard: str
+    transport: Transport
+    conn: "Connection | None" = None
+    probe_conn: "Connection | None" = None
+
+    def _fresh(self, conn: "Connection | None") -> "Connection | None":
+        # a poisoned tcp connection flags itself closed; an inproc
+        # connection survives listener kill/reopen and never needs
+        # replacing, so the flag check covers both
+        if conn is not None and not getattr(conn, "_closed", False):
+            return conn
+        return None
+
+    def connection(self) -> Connection:
+        """The data-plane connection, re-dialled if poisoned."""
+        conn = self._fresh(self.conn)
+        if conn is None:
+            conn = self.transport.connect(self.address)
+            self.conn = conn
+        return conn
+
+    def probe_connection(self) -> Connection:
+        """A dedicated probe connection: a slow query on the data plane
+        must never make a liveness ping look like a death."""
+        conn = self._fresh(self.probe_conn)
+        if conn is None:
+            conn = self.transport.connect(self.address)
+            self.probe_conn = conn
+        return conn
+
+    def close(self) -> None:
+        for conn in (self.conn, self.probe_conn):
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+        self.conn = None
+        self.probe_conn = None
+
+
+@dataclass
+class _ShardGroup:
+    """One vertex-range shard and the replicas backing it."""
+
+    name: str
+    replicas: "list[_Replica]"
+    group: ReplicaGroup
 
 
 @dataclass(frozen=True)
@@ -166,18 +262,42 @@ class _ShardPlacement:
     local_lo: int
     local_hi: int
     halo_hops: int
+    #: retained for re-shipping the slice to a rejoining replica
+    spec: "ShardSpec | None" = None
 
     @property
     def owned(self) -> int:
         return self.hi - self.lo
 
 
+def _normalize_shards(
+    shards: "Sequence[tuple[str, object]]",
+) -> "list[tuple[str, list[tuple[str, str]]]]":
+    """Accept both shapes: ``(name, addr)`` and ``(name, [(replica,
+    addr), ...])`` — the former is a single-replica group whose replica
+    keeps the shard's name, which is what keeps breaker keys, flight
+    events and federation labels identical to the pre-replication
+    coordinator."""
+    normalized: "list[tuple[str, list[tuple[str, str]]]]" = []
+    for name, spec in shards:
+        if isinstance(spec, str):
+            normalized.append((name, [(name, spec)]))
+        else:
+            members = [(str(r), str(a)) for r, a in spec]
+            if not members:
+                raise ClusterError(
+                    f"shard {name!r} has an empty replica list"
+                )
+            normalized.append((name, members))
+    return normalized
+
+
 class Coordinator:
-    """Scatter/gather front-end over a set of shard workers."""
+    """Scatter/gather front-end over a set of (replicated) shard workers."""
 
     def __init__(
         self,
-        shards: Sequence[tuple[str, str]],
+        shards: "Sequence[tuple[str, object]]",
         transport: "Transport | str",
         config: SystemConfig | None = None,
         *,
@@ -187,6 +307,12 @@ class Coordinator:
         breaker_recovery_seconds: float = 30.0,
         slos: "Iterable[SLO] | None" = None,
         flight_dir: "str | Path | None" = None,
+        retry: "RetryPolicy | None" = None,
+        hedge: "HedgePolicy | None" = None,
+        probe_interval: float = 0.0,
+        probe_failures: int = 3,
+        probe_recoveries: int = 2,
+        probe_timeout: float = 5.0,
     ) -> None:
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -197,19 +323,54 @@ class Coordinator:
             else transport
         )
         self.request_timeout = request_timeout
-        self._shards: list[_ShardBinding] = [
-            _ShardBinding(
-                name=name, address=addr, conn=self.transport.connect(addr)
+        self.retry = retry or RetryPolicy()
+        self.hedge = hedge or HedgePolicy()
+        self._groups: "list[_ShardGroup]" = []
+        self._replicas: "list[_Replica]" = []
+        self._replica_by_name: "dict[str, _Replica]" = {}
+        self._group_by_replica: "dict[str, _ShardGroup]" = {}
+        for name, members in _normalize_shards(shards):
+            replicas = []
+            for rname, addr in members:
+                if rname in self._replica_by_name:
+                    raise ClusterError(
+                        f"duplicate replica name {rname!r}"
+                    )
+                replica = _Replica(
+                    name=rname, address=addr, shard=name,
+                    transport=self.transport,
+                )
+                try:
+                    replica.connection()
+                except CommError:
+                    # tolerated: the replica may come up later; the
+                    # breaker/prober decide what that means
+                    pass
+                replicas.append(replica)
+                self._replica_by_name[rname] = replica
+            sg = _ShardGroup(
+                name=name,
+                replicas=replicas,
+                group=ReplicaGroup(name, [r.name for r in replicas]),
             )
-            for name, addr in shards
-        ]
-        #: graph_id → per-shard placements (order matches self._shards)
+            self._groups.append(sg)
+            self._replicas.extend(replicas)
+            for replica in replicas:
+                self._group_by_replica[replica.name] = sg
+        self._replicated = any(len(sg.replicas) > 1 for sg in self._groups)
+        #: graph_id → per-shard placements (order matches self._groups)
         self._graphs: dict[str, list[_ShardPlacement]] = {}
+        #: graph_id → replica names currently holding a registered copy
+        self._registered: dict[str, set[str]] = {}
         # flight recorder before the breakers: the transition callback
         # writes into it
         self.flight = FlightRecorder(
             name="coordinator", flight_dir=flight_dir
         )
+        #: shards/replicas with an open failure incident (dedupes
+        #: shard_failure flight events under sustained chaos)
+        self._open_incidents: set[str] = set()
+        self._failover_dumped = False
         self._breakers = BreakerBoard(
             failure_threshold=breaker_failure_threshold,
             recovery_seconds=breaker_recovery_seconds,
@@ -218,23 +379,55 @@ class Coordinator:
         )
         self.metrics = MetricsRegistry()
         self.metrics.gauge(
-            "repro_cluster_shards", "shard workers in this cluster"
-        ).set(len(self._shards))
+            "repro_cluster_shards", "shard groups in this cluster"
+        ).set(len(self._groups))
+        self.metrics.gauge(
+            "repro_cluster_replicas", "shard replicas in this cluster"
+        ).set(len(self._replicas))
+        for sg in self._groups:
+            self._sync_replica_gauges(sg)
         #: shard metric deltas merged under a shard= label, plus the
         #: coordinator's own registry under shard="coordinator"
         self.federation = FederatedMetrics()
         self._self_delta = MetricsDeltaTracker(self.metrics)
-        self.slo = SLOTracker(tuple(slos) if slos is not None
-                              else DEFAULT_SLOS)
+        if slos is None:
+            slos = REPLICATED_SLOS if self._replicated else DEFAULT_SLOS
+        self.slo = SLOTracker(tuple(slos))
         self._tracer = Tracer() if observability else None
         #: (shard name, profile) pairs for per-shard PE trace lanes
         self._profiles: "deque[tuple[str, ExecutionProfile]]" = deque(
             maxlen=PROFILE_LIMIT
         )
+        #: per-shard recent request latencies (feeds the hedge delay)
+        self._latency: "dict[str, Window]" = {
+            sg.name: Window(LATENCY_WINDOW) for sg in self._groups
+        }
         self._pool = ThreadPoolExecutor(
-            max_workers=len(self._shards),
+            max_workers=max(len(self._groups), len(self._replicas)),
             thread_name_prefix="cluster-scatter",
         )
+        # hedged calls run on their own pool: a hedge submitted from a
+        # scatter thread must never deadlock behind sibling scatters
+        self._hedge_pool = (
+            ThreadPoolExecutor(
+                max_workers=max(2 * len(self._replicas), 4),
+                thread_name_prefix="cluster-hedge",
+            )
+            if self.hedge.enabled
+            else None
+        )
+        self.prober = HealthProber(
+            self._probe_ping,
+            [r.name for r in self._replicas],
+            probe_failures=probe_failures,
+            probe_recoveries=probe_recoveries,
+            interval=probe_interval if probe_interval > 0 else 1.0,
+            on_evict=self._evict_replica,
+            on_rejoin=self._rejoin_replica,
+        )
+        self.probe_timeout = probe_timeout
+        if probe_interval > 0:
+            self.prober.start()
         self._shutdown = False
 
     # -- internals ---------------------------------------------------------
@@ -259,31 +452,61 @@ class Coordinator:
             span.set_attr("outcome", outcome)
             self._tracer.end_span(span)
 
+    def _record_shard_failure(self, name: str, **data) -> None:
+        """First failure of an incident records a flight event; repeats
+        under the same open incident stay out of the ring so sustained
+        chaos cannot wash the black box out with one line per query."""
+        if name in self._open_incidents:
+            return
+        self._open_incidents.add(name)
+        self.flight.record("shard_failure", shard=name, **data)
+
+    def _record_shard_success(self, name: str) -> None:
+        if name in self._open_incidents:
+            self._open_incidents.discard(name)
+            self.flight.record("shard_recovered", shard=name)
+
+    def _sync_replica_gauges(self, sg: _ShardGroup) -> None:
+        for replica, state in sg.group.states().items():
+            self.metrics.gauge(
+                "repro_cluster_replica_state",
+                "replica routing state (0 healthy / 1 suspect / 2 evicted)",
+                shard=sg.name,
+                replica=replica,
+            ).set(state.value)
+
     def _call(
         self,
-        binding: _ShardBinding,
+        replica: _Replica,
         payload: dict,
         span: "Span | None" = None,
+        timeout: float | None = None,
     ):
-        """One breaker-guarded request to one shard.
+        """One breaker-guarded request to one replica.
 
         ``span`` (a manually-started scatter span) is closed here, on
         the scatter pool thread, so its duration covers the request —
         not the coordinator's wait for slower siblings.
         """
-        breaker = self._breakers.for_engine(binding.name)
+        sg = self._group_by_replica[replica.name]
+        breaker = self._breakers.for_engine(replica.name)
         if not breaker.allow():
             self._end_scatter_span(span, "breaker_open")
             raise ClusterError(
-                f"shard {binding.name!r} breaker is open "
+                f"shard {replica.name!r} breaker is open "
                 f"(recent comm failures)"
             )
         try:
-            value = binding.conn.request(
-                payload, timeout=self.request_timeout
+            conn = replica.connection()
+            value = conn.request(
+                payload,
+                timeout=self.request_timeout if timeout is None
+                else timeout,
             )
         except CommError as exc:
             breaker.record_failure(type(exc).__name__)
+            sg.group.mark_failure(replica.name)
+            self._sync_replica_gauges(sg)
             self.metrics.counter(
                 "repro_cluster_shard_failures_total",
                 "scatter requests lost to comm failures",
@@ -291,15 +514,19 @@ class Coordinator:
             self._end_scatter_span(span, type(exc).__name__)
             raise
         breaker.record_success()
+        prior = sg.group.state(replica.name)
+        sg.group.mark_success(replica.name)
+        if prior is not ReplicaState.HEALTHY:
+            self._sync_replica_gauges(sg)
         self._end_scatter_span(span, "ok")
         return value
 
     def _scatter(
         self, payloads: "list[tuple]"
-    ) -> "list[tuple[_ShardBinding, object, BaseException | None]]":
-        """Fan requests out; gather ``(binding, value, error)`` triples.
+    ) -> "list[tuple[_Replica, object, BaseException | None]]":
+        """Fan requests out; gather ``(replica, value, error)`` triples.
 
-        Each item is ``(binding, payload)`` or ``(binding, payload,
+        Each item is ``(replica, payload)`` or ``(replica, payload,
         scatter_span)`` — the optional span travels to :meth:`_call`.
         """
         futures = [
@@ -315,11 +542,11 @@ class Coordinator:
             for item in payloads
         ]
         results = []
-        for binding, future in futures:
+        for replica, future in futures:
             try:
-                results.append((binding, future.result(), None))
+                results.append((replica, future.result(), None))
             except BaseException as exc:
-                results.append((binding, None, exc))
+                results.append((replica, None, exc))
         return results
 
     def _placements(self, graph_id: str) -> list[_ShardPlacement]:
@@ -331,12 +558,358 @@ class Coordinator:
             )
         return placements
 
+    # -- replica routing ---------------------------------------------------
+
+    def _candidates(
+        self, sg: _ShardGroup, graph_id: "str | None"
+    ) -> "list[_Replica]":
+        """Failover order for one subquery: healthiest first, evicted
+        out of rotation, restricted to replicas actually holding the
+        graph (a rejoined-but-not-yet-re-registered replica must never
+        be asked for a graph it lost)."""
+        ranked = sg.group.ranked()
+        if graph_id is not None:
+            holding = self._registered.get(graph_id)
+            if holding:
+                routable = [r for r in ranked if r in holding]
+                if not routable:
+                    # every registered holder is evicted: last resort,
+                    # try them anyway rather than dropping the shard
+                    routable = [
+                        r for r in sg.group.replica_names if r in holding
+                    ]
+                ranked = routable or ranked
+        return [self._replica_by_name[name] for name in ranked]
+
+    def _deadline_budget(self) -> float:
+        return (
+            self.retry.deadline
+            if self.retry.deadline is not None
+            else self.request_timeout
+        )
+
+    def _shard_request(
+        self,
+        sg: _ShardGroup,
+        payload: dict,
+        span: "Span | None" = None,
+    ) -> "tuple[object, dict]":
+        """One subquery against one shard group, with failover/hedging.
+
+        Returns ``(reply value, meta)`` where meta records which
+        replica served and how many failovers/hedges it took.  Raises
+        :class:`ClusterError` only when every candidate replica failed
+        within the retry and deadline budget.
+        """
+        candidates = self._candidates(sg, payload.get("graph_id"))
+        if not candidates:
+            self._end_scatter_span(span, "no_replicas")
+            raise ClusterError(
+                f"shard {sg.name!r} has no routable replicas"
+            )
+        deadline = time.monotonic() + self._deadline_budget()
+        try:
+            hedge_delay = (
+                self.hedge.delay(self._latency[sg.name])
+                if self._hedge_pool is not None and len(candidates) >= 2
+                and payload.get("op") == "query"
+                else None
+            )
+            if hedge_delay is not None:
+                value, meta = self._hedged_request(
+                    sg, candidates, payload, deadline, hedge_delay
+                )
+            else:
+                value, meta = self._failover_request(
+                    sg, candidates, payload, deadline
+                )
+        except BaseException as exc:
+            self._end_scatter_span(span, type(exc).__name__)
+            raise
+        if span is not None:
+            span.set_attr("replica", meta["replica"])
+            if meta["failovers"]:
+                span.set_attr("failovers", meta["failovers"])
+        self._end_scatter_span(span, "ok")
+        return value, meta
+
+    def _note_failover(
+        self, sg: _ShardGroup, source: str, target: str, error: str
+    ) -> None:
+        self.metrics.counter(
+            "repro_cluster_replica_failovers_total",
+            "subqueries failed over to another replica",
+        ).inc()
+        self.flight.record(
+            "replica_failover",
+            shard=sg.name,
+            from_replica=source,
+            to_replica=target,
+            error=error,
+        )
+        if not self._failover_dumped:
+            self._failover_dumped = True
+            self.flight.auto_dump("replica-failover")
+
+    def _timed_call(
+        self, sg: _ShardGroup, replica: _Replica, payload: dict,
+        deadline: float,
+    ):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ClusterError(
+                f"shard {sg.name!r} deadline budget exhausted before "
+                f"calling {replica.name!r}"
+            )
+        started = time.perf_counter()
+        value = self._call(
+            replica, payload,
+            timeout=min(self.request_timeout, remaining),
+        )
+        self._latency[sg.name].add(time.perf_counter() - started)
+        return value
+
+    def _failover_request(
+        self,
+        sg: _ShardGroup,
+        candidates: "list[_Replica]",
+        payload: dict,
+        deadline: float,
+    ) -> "tuple[object, dict]":
+        errors: dict[str, str] = {}
+        attempts = len(candidates) * self.retry.rounds
+        for attempt in range(attempts):
+            round_index = attempt // len(candidates)
+            if attempt and attempt % len(candidates) == 0:
+                # wrapped around: every candidate failed this round —
+                # back off (capped exponential) before hammering again
+                pause = self.retry.backoff(round_index)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if pause > 0:
+                    time.sleep(min(pause, max(remaining, 0.0)))
+            replica = candidates[attempt % len(candidates)]
+            try:
+                value = self._timed_call(sg, replica, payload, deadline)
+            except (CommError, ClusterError) as exc:
+                errors[replica.name] = repr(exc)
+                if attempt + 1 < attempts:
+                    nxt = candidates[(attempt + 1) % len(candidates)]
+                    self._note_failover(
+                        sg, replica.name, nxt.name, type(exc).__name__
+                    )
+                continue
+            return value, {
+                "replica": replica.name,
+                "failovers": attempt,
+                "hedged": False,
+            }
+        raise ClusterError(
+            f"shard {sg.name!r} failed on every replica within its "
+            f"retry budget ({attempts} attempt(s)): "
+            f"{errors or 'deadline exhausted'}"
+        )
+
+    def _hedged_request(
+        self,
+        sg: _ShardGroup,
+        candidates: "list[_Replica]",
+        payload: dict,
+        deadline: float,
+        hedge_delay: float,
+    ) -> "tuple[object, dict]":
+        """Primary + (after ``hedge_delay``) one duplicate; first
+        success wins, the loser's late reply is dropped and counted —
+        exactly-once merging is preserved because only the winner's
+        reply leaves this method."""
+        assert self._hedge_pool is not None
+        primary, backup = candidates[0], candidates[1]
+        pending: "dict[Future, _Replica]" = {}
+        errors: dict[str, str] = {}
+        f_primary = self._hedge_pool.submit(
+            self._timed_call, sg, primary, payload, deadline
+        )
+        pending[f_primary] = primary
+        try:
+            value = f_primary.result(timeout=hedge_delay)
+            return value, {
+                "replica": primary.name, "failovers": 0, "hedged": False,
+            }
+        except FutureTimeoutError:
+            pass  # straggler: hedge fires below
+        except (CommError, ClusterError) as exc:
+            # primary failed outright before the hedge delay — this is
+            # plain failover territory, not a hedge
+            errors[primary.name] = repr(exc)
+            pending.pop(f_primary, None)
+            self._note_failover(
+                sg, primary.name, backup.name, type(exc).__name__
+            )
+            value, meta = self._failover_request(
+                sg, candidates[1:], payload, deadline
+            )
+            meta["failovers"] += 1
+            return value, meta
+        self.metrics.counter(
+            "repro_cluster_hedged_queries_total",
+            "straggler subqueries duplicated to a second replica",
+        ).inc()
+        self.flight.record(
+            "hedged_query",
+            shard=sg.name,
+            primary=primary.name,
+            hedge=backup.name,
+            delay_s=round(hedge_delay, 4),
+        )
+        f_backup = self._hedge_pool.submit(
+            self._timed_call, sg, backup, payload, deadline
+        )
+        pending[f_backup] = backup
+        winner: "tuple[object, _Replica] | None" = None
+        while pending and winner is None:
+            remaining = deadline - time.monotonic()
+            done, _ = futures_wait(
+                list(pending),
+                timeout=max(remaining, 0.0) if remaining > 0 else 0.0,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                break  # deadline exhausted with requests still in flight
+            for future in done:
+                replica = pending.pop(future)
+                try:
+                    value = future.result()
+                except (CommError, ClusterError) as exc:
+                    errors[replica.name] = repr(exc)
+                    continue
+                winner = (value, replica)
+                break
+        if winner is None:
+            raise ClusterError(
+                f"shard {sg.name!r} hedged subquery failed on both "
+                f"replicas: {errors or 'deadline exhausted'}"
+            )
+        value, replica = winner
+        for future, loser in pending.items():
+            future.add_done_callback(
+                self._make_hedge_drop(sg, loser)
+            )
+        return value, {
+            "replica": replica.name,
+            "failovers": 0,
+            "hedged": True,
+        }
+
+    def _make_hedge_drop(self, sg: _ShardGroup, loser: _Replica):
+        def _drop(future: Future) -> None:
+            exc = future.exception()
+            if exc is None:
+                # the loser also answered correctly; its reply is
+                # discarded here, before any merge could see it
+                self.metrics.counter(
+                    "repro_cluster_hedged_duplicates_dropped_total",
+                    "correct duplicate replies dropped after a hedge",
+                ).inc()
+                self.flight.record(
+                    "hedged_duplicate_dropped",
+                    shard=sg.name,
+                    replica=loser.name,
+                )
+        return _drop
+
+    # -- probe-driven membership -------------------------------------------
+
+    def _probe_ping(self, replica_name: str) -> bool:
+        replica = self._replica_by_name[replica_name]
+        try:
+            reply = replica.probe_connection().request(
+                {"op": "ping"}, timeout=self.probe_timeout
+            )
+        except Exception:
+            return False
+        return reply == "pong"
+
+    def _evict_replica(self, replica_name: str) -> None:
+        sg = self._group_by_replica[replica_name]
+        sg.group.evict(replica_name)
+        self._sync_replica_gauges(sg)
+        self.metrics.counter(
+            "repro_cluster_replica_evictions_total",
+            "replicas evicted after consecutive failed probes",
+        ).inc()
+        self.flight.record(
+            "replica_evicted", shard=sg.name, replica=replica_name
+        )
+
+    def _rejoin_replica(self, replica_name: str) -> bool:
+        """Reintegrate a recovered replica (prober callback).
+
+        Graphs are re-registered *before* the replica re-enters
+        rotation; any re-registration failure vetoes the rejoin (the
+        prober keeps it evicted and retries after its next passing
+        probes).
+        """
+        replica = self._replica_by_name[replica_name]
+        sg = self._group_by_replica[replica_name]
+        shard_index = next(
+            i for i, g in enumerate(self._groups) if g is sg
+        )
+        for gid, placements in self._graphs.items():
+            placement = placements[shard_index]
+            spec = placement.spec
+            if spec is None:
+                continue
+            try:
+                replica.connection().request(
+                    {
+                        "op": "register",
+                        "graph_id": gid,
+                        "graph": spec.graph,
+                        "local_lo": spec.local_lo,
+                        "local_hi": spec.local_hi,
+                    },
+                    timeout=self.request_timeout,
+                )
+            except Exception as exc:
+                self.flight.record(
+                    "replica_rejoin_failed",
+                    shard=sg.name,
+                    replica=replica_name,
+                    graph_id=gid,
+                    error=repr(exc),
+                )
+                return False
+            self._registered.setdefault(gid, set()).add(replica_name)
+        sg.group.reintegrate(replica_name)
+        # the probe proved liveness and the graphs are back: waiting
+        # out the breaker's recovery window would skip a replica known
+        # to be healthy
+        self._breakers.for_engine(replica_name).reset()
+        self._sync_replica_gauges(sg)
+        self.metrics.counter(
+            "repro_cluster_replica_rejoins_total",
+            "replicas reintegrated after passing recovery probes",
+        ).inc()
+        self.flight.record(
+            "replica_rejoined", shard=sg.name, replica=replica_name
+        )
+        self._record_shard_success(replica_name)
+        return True
+
     # -- graph lifecycle ---------------------------------------------------
 
     def register_graph(
         self, graph: CSRGraph, graph_id: str | None = None
     ) -> str:
-        """Shard ``graph`` across the workers; returns the cluster id."""
+        """Shard ``graph`` across the workers; returns the cluster id.
+
+        Every replica of a shard group receives the identical slice.  A
+        shard group with **zero** successful replicas fails the whole
+        registration (rolled back everywhere); a group that registered
+        on at least one replica tolerates failed siblings — the prober
+        re-registers them on rejoin.
+        """
         gid = graph_id or graph.name
         if gid in self._graphs:
             raise ClusterError(
@@ -345,61 +918,84 @@ class Coordinator:
         with self._span("cluster.register", graph_id=gid):
             specs = make_shards(
                 graph,
-                num_shards=len(self._shards),
+                num_shards=len(self._groups),
                 halo_hops=self.config.cluster_halo_hops,
             )
-            payloads = [
-                (
-                    binding,
-                    {
-                        "op": "register",
-                        "graph_id": gid,
-                        "graph": spec.graph,
-                        "local_lo": spec.local_lo,
-                        "local_hi": spec.local_hi,
-                    },
-                )
-                for binding, spec in zip(self._shards, specs)
-            ]
+            payloads = []
+            for sg, spec in zip(self._groups, specs):
+                for replica in sg.replicas:
+                    payloads.append(
+                        (
+                            replica,
+                            {
+                                "op": "register",
+                                "graph_id": gid,
+                                "graph": spec.graph,
+                                "local_lo": spec.local_lo,
+                                "local_hi": spec.local_hi,
+                            },
+                        )
+                    )
             results = self._scatter(payloads)
-        failed = [b.name for b, _, exc in results if exc is not None]
-        if failed:
-            # registration is all-or-nothing: roll back the survivors so
-            # no shard holds a slice of a graph the cluster never owned
-            for binding, _, exc in results:
+        ok_replicas = {
+            replica.name for replica, _, exc in results if exc is None
+        }
+        group_failures: list[str] = []
+        for sg in self._groups:
+            if not any(r.name in ok_replicas for r in sg.replicas):
+                group_failures.append(sg.name)
+        if group_failures:
+            # registration is all-or-nothing per cluster: roll back the
+            # survivors so no shard holds a slice of a graph the
+            # cluster never owned
+            for replica, _, exc in results:
                 if exc is None:
                     try:
                         self._call(
-                            binding, {"op": "unregister", "graph_id": gid}
+                            replica,
+                            {"op": "unregister", "graph_id": gid},
                         )
                     except Exception:
                         pass
             raise ClusterError(
                 f"failed to register {gid!r} on shard(s) "
-                f"{', '.join(failed)}"
+                f"{', '.join(group_failures)}"
             )
+        for replica, _, exc in results:
+            if exc is not None:
+                # the group survives on its siblings; the failed
+                # replica re-registers via the prober's rejoin path
+                self._record_shard_failure(
+                    replica.name,
+                    op="register",
+                    graph_id=gid,
+                    error=repr(exc),
+                )
         self._graphs[gid] = [
             _ShardPlacement(
-                shard=binding.name,
+                shard=sg.name,
                 lo=spec.lo,
                 hi=spec.hi,
                 local_lo=spec.local_lo,
                 local_hi=spec.local_hi,
                 halo_hops=spec.halo_hops,
+                spec=spec,
             )
-            for binding, spec in zip(self._shards, specs)
+            for sg, spec in zip(self._groups, specs)
         ]
+        self._registered[gid] = set(ok_replicas)
         return gid
 
     def unregister_graph(self, graph_id: str) -> None:
-        """Drop ``graph_id`` on every reachable shard."""
+        """Drop ``graph_id`` on every reachable replica."""
         self._placements(graph_id)
         payloads = [
-            (binding, {"op": "unregister", "graph_id": graph_id})
-            for binding in self._shards
+            (replica, {"op": "unregister", "graph_id": graph_id})
+            for replica in self._replicas
         ]
-        self._scatter(payloads)  # best effort; dead shards are tolerated
+        self._scatter(payloads)  # best effort; dead replicas tolerated
         del self._graphs[graph_id]
+        self._registered.pop(graph_id, None)
 
     def graphs(self) -> tuple[str, ...]:
         return tuple(sorted(self._graphs))
@@ -418,9 +1014,10 @@ class Coordinator:
     ) -> "SimReport":
         """Scatter one pattern query; gather the merged cluster report.
 
-        Shards that fail (comm error, timeout, open breaker) degrade the
-        result — ``report.notes["cluster"]`` flags the partial merge and
-        names them.  Only a fully failed scatter raises.
+        A failing replica fails over to its siblings; a shard whose
+        every replica fails (comm error, timeout, open breaker) degrades
+        the result — ``report.notes["cluster"]`` flags the partial merge
+        and names it.  Only a fully failed scatter raises.
         """
         placements = self._placements(graph_id)
         cfg = config or self.config
@@ -432,7 +1029,7 @@ class Coordinator:
                 f"halo but {graph_id!r} was sharded with halo_hops={halo}; "
                 f"re-register with cluster_halo_hops >= {plan.stop_level}"
             )
-        by_name = {b.name: b for b in self._shards}
+        by_name = {sg.name: sg for sg in self._groups}
         targets = [
             (by_name[p.shard], p) for p in placements if p.owned > 0
         ]
@@ -452,7 +1049,7 @@ class Coordinator:
             lane="coordinator",
         ) as qspan:
             calls = []
-            for binding, _ in targets:
+            for sg, placement in targets:
                 sspan = None
                 trace_ctx = None
                 if tracer is not None:
@@ -462,11 +1059,11 @@ class Coordinator:
                     sspan = tracer.start_span(
                         "cluster.scatter",
                         parent=qspan,
-                        shard=binding.name,
+                        shard=sg.name,
                         trace_id=trace_id,
                         lane="coordinator",
                     )
-                    scatter_spans[binding.name] = sspan
+                    scatter_spans[sg.name] = sspan
                     trace_ctx = TraceContext(
                         trace_id=trace_id,
                         parent_span_id=sspan.span_id,
@@ -474,7 +1071,8 @@ class Coordinator:
                     )
                 calls.append(
                     (
-                        binding,
+                        sg,
+                        placement,
                         {
                             "op": "query",
                             "graph_id": graph_id,
@@ -489,40 +1087,63 @@ class Coordinator:
                         sspan,
                     )
                 )
-            results = self._scatter(calls)
-            ok: "list[tuple[_ShardBinding, SimReport]]" = []
+            futures = [
+                (
+                    sg,
+                    placement,
+                    self._pool.submit(
+                        self._shard_request, sg, payload, sspan
+                    ),
+                )
+                for sg, placement, payload, sspan in calls
+            ]
+            replies: "list[tuple[tuple[int, int], SimReport]]" = []
+            served_by: dict[str, str] = {}
             failed: dict[str, str] = {}
-            for binding, value, exc in results:
-                if exc is not None:
-                    failed[binding.name] = repr(exc)
-                    self.flight.record(
-                        "shard_failure",
-                        shard=binding.name,
+            failovers = 0
+            hedged = 0
+            for sg, placement, future in futures:
+                try:
+                    value, meta = future.result()
+                except BaseException as exc:
+                    failed[sg.name] = repr(exc)
+                    self._record_shard_failure(
+                        sg.name,
                         op="query",
                         graph_id=graph_id,
                         error=repr(exc),
                     )
                     continue
+                self._record_shard_success(sg.name)
+                failovers += meta.get("failovers", 0)
+                hedged += 1 if meta.get("hedged") else 0
+                served_by[sg.name] = meta.get("replica", sg.name)
                 envelope = value if isinstance(value, dict) else {
                     "report": value
                 }
                 self.federation.apply(
-                    binding.name, envelope.get("metrics")
+                    envelope.get("shard", sg.name),
+                    envelope.get("metrics"),
                 )
                 if tracer is not None:
                     self._adopt_shard_trace(
-                        binding.name,
+                        sg.name,
                         envelope,
-                        scatter_spans.get(binding.name),
+                        scatter_spans.get(sg.name),
                     )
-                ok.append((binding, envelope["report"]))
+                replies.append(
+                    (
+                        (placement.lo, placement.hi),
+                        envelope["report"],
+                    )
+                )
         elapsed = time.perf_counter() - started
         self.metrics.histogram(
             "repro_cluster_query_seconds",
             "end-to-end scatter/gather query latency",
         ).observe(elapsed)
         self.slo.record(elapsed, ok=not failed)
-        if not ok:
+        if not replies:
             self.flight.record(
                 "query_failed",
                 graph_id=graph_id,
@@ -534,8 +1155,8 @@ class Coordinator:
                 f"query {pattern.name!r} on {graph_id!r} failed on every "
                 f"shard: {failed}"
             )
-        merged = merge_reports(
-            [report for _, report in ok],
+        merged = merge_replies(
+            replies,
             graph_name=graph_id,
             pattern_name=pattern.name,
         )
@@ -543,10 +1164,13 @@ class Coordinator:
         merged.notes["cluster"] = {
             "shards": len(placements),
             "queried": len(targets),
-            "ok": len(ok),
+            "ok": len(replies),
             "partial": bool(failed),
             "failed_shards": sorted(failed),
             "failures": failed,
+            "served_by": served_by,
+            "failovers": failovers,
+            "hedged": hedged,
         }
         if trace_id is not None:
             merged.notes["cluster"]["trace_id"] = trace_id
@@ -590,8 +1214,11 @@ class Coordinator:
             parent=sspan,
             align_to=sspan.start if sspan is not None else None,
         )
+        replica = envelope.get("shard")
         for sp in adopted:
             sp.attrs.setdefault("shard", shard)
+            if replica is not None:
+                sp.attrs.setdefault("replica", replica)
             sp.attrs["lane"] = shard
 
     def count(self, graph_id: str, pattern: "Pattern", **kwargs) -> int:
@@ -608,48 +1235,60 @@ class Coordinator:
     # -- health / lifecycle ------------------------------------------------
 
     def health(self) -> ClusterHealth:
-        """Gather per-shard health; aggregate to one cluster state.
+        """Gather per-replica health; aggregate to one cluster state.
 
-        Shard replies piggyback metrics deltas (federated here) and the
-        SLO tracker's statuses join the report: a burning error budget
-        degrades the cluster even while every shard is individually
-        healthy.  A non-healthy aggregate records a flight event and —
-        once per state, when a flight dir is configured — auto-dumps
-        the coordinator's ring.
+        Replica replies piggyback metrics deltas (federated here) and
+        the SLO tracker's statuses join the report: a burning error
+        budget degrades the cluster even while every replica is
+        individually healthy.  A non-healthy aggregate records a flight
+        event and — once per state, when a flight dir is configured —
+        auto-dumps the coordinator's ring.
         """
         results = self._scatter(
-            [(b, {"op": "health"}) for b in self._shards]
+            [(r, {"op": "health"}) for r in self._replicas]
         )
         shards: dict[str, "HealthReport | None"] = {}
         worst = HealthState.HEALTHY
         any_dead = False
-        for binding, value, exc in results:
+        for replica, value, exc in results:
             if exc is not None:
-                shards[binding.name] = None
+                shards[replica.name] = None
                 any_dead = True
-                self.flight.record(
-                    "shard_failure",
-                    shard=binding.name,
+                self._record_shard_failure(
+                    replica.name,
                     op="health",
                     error=repr(exc),
                 )
                 continue
+            self._record_shard_success(replica.name)
             if isinstance(value, dict) and "report" in value:
                 report = value["report"]
                 self.federation.apply(
-                    binding.name, value.get("metrics")
+                    replica.name, value.get("metrics")
                 )
             else:  # bare HealthReport (older shard)
                 report = value
-            shards[binding.name] = report
+            shards[replica.name] = report
             if report.state.value > worst.value:
                 worst = report.state
         snapshots = self._breakers.snapshots()
         breaker_open = any(s.state != "closed" for s in snapshots.values())
         slo_statuses = self.slo.evaluate()
         slo_violated = any(not st.met for st in slo_statuses.values())
+        replica_states = {
+            sg.name: {
+                name: state.name.lower()
+                for name, state in sg.group.states().items()
+            }
+            for sg in self._groups
+        }
+        any_evicted = any(
+            state == "evicted"
+            for group in replica_states.values()
+            for state in group.values()
+        )
         if (
-            (any_dead or breaker_open or slo_violated)
+            (any_dead or breaker_open or slo_violated or any_evicted)
             and worst is HealthState.HEALTHY
         ):
             worst = HealthState.DEGRADED
@@ -671,34 +1310,60 @@ class Coordinator:
             shards=shards,
             breakers=snapshots,
             slo=slo_statuses,
+            replicas=replica_states,
         )
 
     def stats(self) -> dict:
-        """Per-shard worker stats (``op: stats``) keyed by shard name.
+        """Per-replica worker stats (``op: stats``) keyed by name.
 
-        Unreachable shards map to None — the ``top`` dashboard renders
-        them as DEAD rows instead of erroring out.
+        Unreachable replicas map to None — the ``top`` dashboard
+        renders them as DEAD rows instead of erroring out.
         """
         results = self._scatter(
-            [(b, {"op": "stats"}) for b in self._shards]
+            [(r, {"op": "stats"}) for r in self._replicas]
         )
         return {
-            binding.name: (None if exc is not None else value)
-            for binding, value, exc in results
+            replica.name: (None if exc is not None else value)
+            for replica, value, exc in results
         }
 
     def shard_flight(self, shard: str) -> dict:
-        """Fetch one live shard's flight-recorder ring (``op: flight``)."""
-        for binding in self._shards:
-            if binding.name == shard:
-                return self._call(binding, {"op": "flight"})
-        raise ClusterError(f"unknown shard {shard!r}")
+        """Fetch one live shard's flight-recorder ring (``op: flight``).
+
+        ``shard`` may name a replica directly, or a shard group — the
+        group resolves to its current preferred replica.
+        """
+        replica = self._replica_by_name.get(shard)
+        if replica is None:
+            for sg in self._groups:
+                if sg.name == shard:
+                    ranked = sg.group.ranked()
+                    replica = self._replica_by_name[ranked[0]]
+                    break
+        if replica is None:
+            raise ClusterError(f"unknown shard {shard!r}")
+        return self._call(replica, {"op": "flight"})
 
     # -- observability surfaces --------------------------------------------
 
     @property
     def observability(self) -> bool:
         return self._tracer is not None
+
+    @property
+    def replicated(self) -> bool:
+        """True when any shard group has more than one replica."""
+        return self._replicated
+
+    def replica_states(self) -> dict[str, dict[str, str]]:
+        """``{shard: {replica: state}}`` routing view (CLI/tests)."""
+        return {
+            sg.name: {
+                name: state.name.lower()
+                for name, state in sg.group.states().items()
+            }
+            for sg in self._groups
+        }
 
     def metrics_text(self) -> str:
         """One Prometheus exposition for the whole cluster.
@@ -747,13 +1412,16 @@ class Coordinator:
         if self._shutdown:
             return
         self._shutdown = True
+        self.prober.stop()
         if stop_workers:
             self._scatter(
-                [(b, {"op": "shutdown"}) for b in self._shards]
+                [(r, {"op": "shutdown"}) for r in self._replicas]
             )
-        for binding in self._shards:
-            binding.conn.close()
+        for replica in self._replicas:
+            replica.close()
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "Coordinator":
         return self
@@ -763,7 +1431,8 @@ class Coordinator:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Coordinator({len(self._shards)} shards, "
+            f"Coordinator({len(self._groups)} shards, "
+            f"{len(self._replicas)} replicas, "
             f"graphs={sorted(self._graphs)})"
         )
 
@@ -771,12 +1440,17 @@ class Coordinator:
 class LocalCluster:
     """Workers + coordinator in one process — the cluster's ``localhost``.
 
-    Spins up ``num_shards`` :class:`ShardWorker`\\ s on the chosen
-    transport and a :class:`Coordinator` over them.  ``mode`` selects
-    each worker's service pool: ``inline`` for deterministic tests,
-    ``process`` to give every shard its own OS process (how the scaling
-    benchmark runs).  :meth:`kill_shard` is the chaos hook; a killed
-    shard is still resource-reclaimed by :meth:`shutdown`.
+    Spins up ``num_shards`` shard groups of ``replicas``
+    :class:`ShardWorker`\\ s each on the chosen transport and a
+    :class:`Coordinator` over them.  With ``replicas=1`` (the default)
+    workers keep the bare ``shard<i>`` names and the cluster behaves
+    exactly like the pre-replication one; with more, replicas are named
+    ``shard<i>/r<j>``.  ``mode`` selects each worker's service pool:
+    ``inline`` for deterministic tests, ``process`` to give every shard
+    its own OS process (how the scaling benchmark runs).
+    :meth:`kill_shard` / :meth:`kill_replica` are the chaos hooks and
+    :meth:`revive_replica` the recovery hook; killed workers are still
+    resource-reclaimed by :meth:`shutdown`.
     """
 
     def __init__(
@@ -790,6 +1464,13 @@ class LocalCluster:
         observability: bool = False,
         request_timeout: float = 120.0,
         flight_dir: "str | Path | None" = None,
+        replicas: int | None = None,
+        retry: "RetryPolicy | None" = None,
+        hedge: "HedgePolicy | None" = None,
+        probe_interval: float = 0.0,
+        probe_failures: int = 3,
+        probe_recoveries: int = 2,
+        probe_timeout: float = 5.0,
     ) -> None:
         self.config = config or xset_default()
         if num_shards is None:
@@ -798,35 +1479,78 @@ class LocalCluster:
             raise ClusterError(
                 f"num_shards must be >= 1, got {num_shards}"
             )
+        if replicas is None:
+            replicas = self.config.cluster_replicas
+        if replicas < 1:
+            raise ClusterError(
+                f"replicas must be >= 1, got {replicas}"
+            )
         self.transport_name = transport
+        self.num_replicas = replicas
         tr = get_transport(transport)
         # observability propagates to every shard service: the workers
         # record the spans/profiles the coordinator re-anchors
-        self.workers = [
-            ShardWorker(
-                f"shard{i}",
-                tr,
-                self.config,
-                mode=mode,
-                max_workers=max_workers,
-                observability=observability,
-            )
-            for i in range(num_shards)
+        self.worker_groups: "list[list[ShardWorker]]" = []
+        for i in range(num_shards):
+            group = [
+                ShardWorker(
+                    f"shard{i}" if replicas == 1 else f"shard{i}/r{j}",
+                    tr,
+                    self.config,
+                    mode=mode,
+                    max_workers=max_workers,
+                    observability=observability,
+                )
+                for j in range(replicas)
+            ]
+            self.worker_groups.append(group)
+        self.workers: "list[ShardWorker]" = [
+            worker for group in self.worker_groups for worker in group
         ]
         self.coordinator = Coordinator(
-            [(w.name, w.address) for w in self.workers],
+            [
+                (
+                    f"shard{i}",
+                    [(w.name, w.address) for w in group],
+                )
+                for i, group in enumerate(self.worker_groups)
+            ],
             tr,
             self.config,
             observability=observability,
             request_timeout=request_timeout,
             flight_dir=flight_dir,
+            retry=retry,
+            hedge=hedge,
+            probe_interval=probe_interval,
+            probe_failures=probe_failures,
+            probe_recoveries=probe_recoveries,
+            probe_timeout=probe_timeout,
         )
 
     def kill_shard(self, index: int) -> str:
-        """Chaos: make one shard unreachable; returns its name."""
-        worker = self.workers[index]
+        """Chaos: kill shard ``index``'s primary replica; returns its
+        name.  With ``replicas=1`` this makes the whole shard
+        unreachable (the pre-replication behaviour); with more, the
+        siblings keep answering."""
+        return self.kill_replica(index, 0)
+
+    def kill_replica(self, shard_index: int, replica_index: int = 0) -> str:
+        """Chaos: make one replica unreachable; returns its name."""
+        worker = self.worker_groups[shard_index][replica_index]
         worker.kill()
         self.coordinator.flight.record("shard_kill", shard=worker.name)
+        return worker.name
+
+    def revive_replica(
+        self, shard_index: int, replica_index: int = 0
+    ) -> str:
+        """Recovery: bring a killed replica back on its old address."""
+        worker = self.worker_groups[shard_index][replica_index]
+        worker.revive()
+        self.coordinator.flight.record(
+            "shard_revive", shard=worker.name
+        )
         return worker.name
 
     def shutdown(self) -> None:

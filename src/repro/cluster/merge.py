@@ -6,16 +6,34 @@ time are *makespan* and take the maximum — the shards ran in parallel,
 so the cluster is as slow as its slowest shard.  Utilisation-bearing
 fields (``siu_busy_cycles``, ``num_sius``) sum, which keeps the derived
 ``siu_utilization`` a system-wide mean over every SIU in the cluster.
+
+Replication adds an *exactly-once* obligation the plain fold cannot
+see: with replica groups, two workers legitimately hold the **same**
+owned root range, and a retried or hedged subquery can produce two
+correct answers for it.  Summing both would double-count every
+embedding rooted in that range — silently, since the merged total still
+"looks like a number".  The range-tagged entry points guard against
+this:
+
+* :func:`dedupe_replies` — first answer per root range wins, later
+  duplicates are dropped (with a callback so the coordinator can count
+  them: hedged losers are *expected* duplicates, not bugs);
+* :func:`merge_replies` — refuses duplicate or overlapping ranges with
+  a typed :class:`~repro.errors.ClusterError`; the last line of defence
+  right before the fold.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..errors import ClusterError
 from ..sim.report import SimReport
 
-__all__ = ["merge_reports"]
+__all__ = ["merge_reports", "merge_replies", "dedupe_replies"]
+
+#: one range-tagged shard answer: ((lo, hi) owned root range, report)
+Reply = tuple[tuple[int, int], SimReport]
 
 #: fields that add up (work done somewhere is work done)
 _SUM_FIELDS = (
@@ -65,3 +83,74 @@ def merge_reports(
             setattr(merged, name, max(getattr(merged, name), getattr(report, name)))
         merged.per_pe_busy.extend(report.per_pe_busy)
     return merged
+
+
+def dedupe_replies(
+    replies: Sequence[Reply],
+    on_duplicate: "Callable[[tuple[int, int], SimReport], None] | None" = None,
+) -> list[Reply]:
+    """Keep the first answer per root range; drop later duplicates.
+
+    The expected source of duplicates is a hedged subquery whose loser
+    replica also answered — a correct reply that must still be thrown
+    away.  ``on_duplicate`` receives each dropped ``(range, report)``
+    so the caller can increment its duplicate counter.  Only *exact*
+    range duplicates are deduped: overlapping-but-unequal ranges are a
+    partitioning bug, not a race, and are left for
+    :func:`merge_replies` to reject loudly.
+    """
+    seen: set[tuple[int, int]] = set()
+    kept: list[Reply] = []
+    for rng, report in replies:
+        key = (int(rng[0]), int(rng[1]))
+        if key in seen:
+            if on_duplicate is not None:
+                on_duplicate(key, report)
+            continue
+        seen.add(key)
+        kept.append((key, report))
+    return kept
+
+
+def merge_replies(
+    replies: Sequence[Reply],
+    graph_name: str = "",
+    pattern_name: str = "",
+) -> SimReport:
+    """Exactly-once fold of range-tagged replies into one report.
+
+    Raises :class:`~repro.errors.ClusterError` if any owned root range
+    appears twice or two ranges overlap — either would double-count
+    embeddings rooted in the shared vertices, which is precisely the
+    corruption replica failover must never introduce.
+    """
+    if not replies:
+        raise ClusterError("cannot merge zero shard replies")
+    ranges: list[tuple[int, int]] = []
+    for rng, _ in replies:
+        lo, hi = int(rng[0]), int(rng[1])
+        if hi < lo:
+            raise ClusterError(f"malformed root range [{lo}, {hi})")
+        ranges.append((lo, hi))
+    seen: set[tuple[int, int]] = set()
+    for rng in ranges:
+        if rng in seen:
+            raise ClusterError(
+                f"root range [{rng[0]}, {rng[1]}) answered twice — a "
+                f"replica duplicate escaped dedupe; refusing to "
+                f"double-count"
+            )
+        seen.add(rng)
+    ordered = sorted(ranges)
+    for (lo, hi), (next_lo, next_hi) in zip(ordered, ordered[1:]):
+        if next_lo < hi:
+            raise ClusterError(
+                f"root ranges [{lo}, {hi}) and [{next_lo}, {next_hi}) "
+                f"overlap — shards would double-count embeddings "
+                f"rooted in [{next_lo}, {min(hi, next_hi)})"
+            )
+    return merge_reports(
+        [report for _, report in replies],
+        graph_name=graph_name,
+        pattern_name=pattern_name,
+    )

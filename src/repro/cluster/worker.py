@@ -108,6 +108,12 @@ class ShardWorker:
         return "pong"
 
     def _op_register(self, payload: dict) -> str:
+        if payload["graph_id"] in self._owned:
+            # idempotent re-registration: a replica that missed an
+            # unregister while dead (or is being re-seeded on rejoin)
+            # replaces its copy instead of erroring the rejoin away
+            self.service.unregister_graph(payload["graph_id"])
+            self._owned.pop(payload["graph_id"], None)
         graph_id = self.service.register_graph(
             payload["graph"], payload["graph_id"]
         )
@@ -208,6 +214,22 @@ class ShardWorker:
         """Chaos: drop dead on the wire (state stays for force_close)."""
         self._killed = True
         self._listener.close()
+
+    def revive(self) -> None:
+        """Recovery: come back up on the same address after :meth:`kill`.
+
+        The service (graphs, cache, metrics) survived the "crash" —
+        what died was the wire.  Real deployments restart the process
+        and re-register; the coordinator's rejoin path re-ships graphs
+        either way, so tests exercise the same protocol.
+        """
+        if self._closed:
+            raise ClusterError(
+                f"worker {self.name!r} was shut down, not killed; "
+                f"it cannot revive"
+            )
+        self._listener.reopen()
+        self._killed = False
 
     def close(self) -> None:
         """Graceful stop: close the listener, drain and shut the service."""

@@ -67,6 +67,9 @@ class SystemConfig:
     #: be >= the deepest plan's stop level for exact per-root counts; the
     #: coordinator validates this per query.
     cluster_halo_hops: int = 4
+    #: workers per shard group (repro.cluster.replication); 1 = no
+    #: replication, >= 2 buys automatic failover on replica death
+    cluster_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.num_pes < 1 or self.sius_per_pe < 1:
@@ -75,6 +78,8 @@ class SystemConfig:
             raise ConfigError("cluster_shards must be >= 0")
         if self.cluster_halo_hops < 1:
             raise ConfigError("cluster_halo_hops must be >= 1")
+        if self.cluster_replicas < 1:
+            raise ConfigError("cluster_replicas must be >= 1")
         if self.segment_width & (self.segment_width - 1):
             raise ConfigError("segment_width must be a power of two")
         if self.root_partition not in ("round-robin", "degree-balanced"):

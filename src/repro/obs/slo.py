@@ -12,6 +12,12 @@ recent samples.  Two kinds:
 * ``error_rate`` — met when the fraction of failed requests is <=
   ``target``; the budget is ``target`` itself and the burn rate is
   ``observed / target``.
+* ``availability`` — met when the fraction of *successful* requests is
+  >= ``target`` (a target like 0.999 is "three nines over the window");
+  the budget is the allowed failure fraction ``1 - target`` and the
+  burn rate is the observed failure fraction divided by it.  The
+  replicated cluster tracks this one: failover's whole job is keeping
+  it met while individual replicas die.
 
 A burn rate of 1.0 means the budget is being consumed exactly as fast
 as it accrues; > 1.0 means the objective is being violated over the
@@ -37,10 +43,12 @@ __all__ = [
     "SLOStatus",
     "SLOTracker",
     "DEFAULT_SLOS",
+    "AVAILABILITY_SLO",
+    "REPLICATED_SLOS",
     "statuses_to_dict",
 ]
 
-_KINDS = ("latency", "error_rate")
+_KINDS = ("latency", "error_rate", "availability")
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,8 @@ class SLO:
     rank (e.g. 99.0 → p99 <= target, 1% allowed over budget).
     ``kind="error_rate"``: ``target`` is the allowed failure fraction in
     (0, 1); ``percentile`` is ignored.
+    ``kind="availability"``: ``target`` is the required success fraction
+    in (0, 1), e.g. 0.999; ``percentile`` is ignored.
     """
 
     name: str
@@ -65,9 +75,9 @@ class SLO:
             )
         if self.target <= 0:
             raise ValueError(f"SLO target must be > 0, got {self.target}")
-        if self.kind == "error_rate" and self.target >= 1:
+        if self.kind in ("error_rate", "availability") and self.target >= 1:
             raise ValueError(
-                f"error-rate target must be < 1, got {self.target}"
+                f"{self.kind} target must be < 1, got {self.target}"
             )
         if self.kind == "latency" and not 0 < self.percentile < 100:
             raise ValueError(
@@ -80,6 +90,8 @@ class SLO:
         """Fraction of requests allowed to violate the objective."""
         if self.kind == "latency":
             return 1.0 - self.percentile / 100.0
+        if self.kind == "availability":
+            return 1.0 - self.target
         return self.target
 
 
@@ -131,6 +143,15 @@ DEFAULT_SLOS = (
     SLO(name="query_error_rate", kind="error_rate", target=0.01),
 )
 
+#: the replicated cluster's headline objective: queries keep answering
+#: (fully, not partially) while individual replicas die
+AVAILABILITY_SLO = SLO(
+    name="query_availability", kind="availability", target=0.999
+)
+
+#: what a coordinator with replica groups tracks by default
+REPLICATED_SLOS = DEFAULT_SLOS + (AVAILABILITY_SLO,)
+
 
 class SLOTracker:
     """Evaluate a set of SLOs over bounded windows of recent requests.
@@ -167,6 +188,11 @@ class SLOTracker:
                 else 0.0
             )
             met = observed <= slo.target
+        elif slo.kind == "availability":
+            samples = self._errors.values()
+            bad = sum(samples) / len(samples) if samples else 0.0
+            observed = 1.0 - bad
+            met = observed >= slo.target
         else:
             samples = self._errors.values()
             observed = sum(samples) / len(samples) if samples else 0.0

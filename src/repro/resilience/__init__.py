@@ -41,13 +41,16 @@ from .degradation import (
     assess,
 )
 from .faults import (
+    COMM_SITES,
     FAULT_SITES,
     FaultInjector,
     FaultKind,
     FaultPlan,
     FaultSpec,
     active,
+    comm_active,
     inject,
+    inject_comm,
 )
 from .policy import DEFAULT_FALLBACKS, ResilienceConfig
 from .watchdog import Watchdog
@@ -56,6 +59,7 @@ __all__ = [
     "BreakerBoard",
     "BreakerSnapshot",
     "BreakerState",
+    "COMM_SITES",
     "CircuitBreaker",
     "DEFAULT_FALLBACKS",
     "DegradationPolicy",
@@ -70,5 +74,7 @@ __all__ = [
     "Watchdog",
     "active",
     "assess",
+    "comm_active",
     "inject",
+    "inject_comm",
 ]

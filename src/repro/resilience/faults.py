@@ -38,6 +38,19 @@ Registered sites
     Every stream access of the simulated memory hierarchy.  STALL
     multiplies both the fill latency and the occupancy cycles, modelling
     a degraded (thermally throttled / contended) memory system.
+``comm.send`` / ``comm.recv``
+    The cluster comm layer, client side: ``comm.send`` fires before a
+    request frame leaves, ``comm.recv`` after the reply arrives.  DROP
+    raises :class:`~repro.errors.CommClosedError` (the peer "never saw"
+    the request, or the reply was lost *after* the work ran — the
+    nastier case), DELAY sleeps ``seconds`` before delivery, and
+    CORRUPT_FRAME flips a byte of the encoded frame's length prefix so
+    the receiver exercises its corrupt-stream handling.
+
+    Comm faults are armed *globally* via :func:`inject_comm` rather than
+    through the per-job contextvar: scatter requests run on coordinator
+    pool threads that never see the submitting context, so a contextvar
+    could not reach them.
 """
 
 from __future__ import annotations
@@ -51,20 +64,29 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator
 
-from ..errors import FaultInjectionError, InjectedCrashError
+from ..errors import CommClosedError, FaultInjectionError, InjectedCrashError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.report import SimReport
 
 __all__ = [
+    "COMM_SITES",
     "FAULT_SITES",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "active",
+    "comm_active",
     "inject",
+    "inject_comm",
 ]
+
+#: comm-layer sites (client side of every transport request)
+COMM_SITES = (
+    "comm.send",
+    "comm.recv",
+)
 
 #: injection sites registered by the instrumented layers
 FAULT_SITES = (
@@ -73,7 +95,7 @@ FAULT_SITES = (
     "engine.codegen",
     "engine.event",
     "memory.stream",
-)
+) + COMM_SITES
 
 
 class FaultKind(enum.Enum):
@@ -83,10 +105,17 @@ class FaultKind(enum.Enum):
     HANG = "hang"        #: compute stalls for ``FaultSpec.seconds``
     CORRUPT = "corrupt"  #: bit-flip in the embedding count (soft error)
     STALL = "stall"      #: memory latency inflated by ``FaultSpec.factor``
+    DROP = "drop"        #: a comm frame is lost (CommClosedError)
+    DELAY = "delay"      #: a comm frame is delayed ``FaultSpec.seconds``
+    CORRUPT_FRAME = "corrupt-frame"  #: a byte of the length prefix flips
 
 
 #: one-shot kinds fire at most once per job; STALL applies to every hit
 _ONE_SHOT = (FaultKind.CRASH, FaultKind.HANG, FaultKind.CORRUPT)
+
+#: comm kinds are one-shot per injector too: a chaos scenario arms "the
+#: Nth frame is dropped", not an unbounded packet-loss model
+_COMM_KINDS = (FaultKind.DROP, FaultKind.DELAY, FaultKind.CORRUPT_FRAME)
 
 
 @dataclass(frozen=True)
@@ -236,6 +265,42 @@ class FaultInjector:
             self._record(spec)
             report.embeddings ^= 1 << spec.bit
 
+    def comm(self, site: str) -> None:
+        """DROP / DELAY hook for one comm frame at ``site``.
+
+        DROP raises :class:`~repro.errors.CommClosedError` — on
+        ``comm.send`` the request never reaches the peer, on
+        ``comm.recv`` the reply is lost after the peer did the work
+        (the caller cannot tell the difference, which is the point).
+        """
+        for spec in self._one_shot(
+            site, "comm", (FaultKind.DROP, FaultKind.DELAY)
+        ):
+            self._record(spec)
+            if spec.kind is FaultKind.DROP:
+                raise CommClosedError(
+                    f"injected frame drop at {site}"
+                )
+            self._sleep(spec.seconds)
+
+    def corrupt_frame(self, site: str, frame: bytes) -> bytes:
+        """CORRUPT_FRAME hook: flip one byte of the length prefix.
+
+        ``spec.bit`` selects which header byte (mod the 8-byte prefix);
+        flipping the high byte turns the length into petabytes (the
+        receiver's size cap rejects it), flipping a low byte misaligns
+        the pickle body — either way the receiver must fail *typed*,
+        not hang.
+        """
+        for spec in self._one_shot(
+            site, "corrupt_frame", (FaultKind.CORRUPT_FRAME,)
+        ):
+            self._record(spec)
+            mutated = bytearray(frame)
+            mutated[spec.bit % 8] ^= 0xFF
+            frame = bytes(mutated)
+        return frame
+
     def stall(
         self, site: str, first_latency: float, stream_cycles: float
     ) -> tuple[float, float]:
@@ -274,3 +339,33 @@ def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
         yield injector
     finally:
         _ACTIVE.reset(token)
+
+
+#: the process-wide comm-fault injector (None = no comm chaos, no cost).
+#: Module-global rather than a contextvar: transport requests run on
+#: scatter/hedge pool threads whose contexts never saw the arming scope.
+_COMM_ACTIVE: FaultInjector | None = None
+_COMM_LOCK = threading.Lock()
+
+
+def comm_active() -> FaultInjector | None:
+    """The armed comm injector, if any (one attribute load when off)."""
+    return _COMM_ACTIVE
+
+
+@contextmanager
+def inject_comm(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Arm ``injector`` for comm sites, process-wide, for the block.
+
+    Nesting replaces (and later restores) the previous injector; the
+    lock only guards the swap — the hot-path read is lock-free.
+    """
+    global _COMM_ACTIVE
+    with _COMM_LOCK:
+        previous = _COMM_ACTIVE
+        _COMM_ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        with _COMM_LOCK:
+            _COMM_ACTIVE = previous

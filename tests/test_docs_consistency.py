@@ -133,6 +133,67 @@ class TestBenchmarkCoverage:
             assert required in benches, required
 
 
+class TestReplicationDocs:
+    @pytest.fixture(scope="class")
+    def architecture(self):
+        return (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_readme_section(self, readme):
+        assert "### Replication & failover" in readme
+        for phrase in (
+            "replicas=2", "RetryPolicy", "HedgePolicy",
+            "zero partial", "byte-identical", "served_by",
+            "replica_failovers_total", "hedged_queries_total",
+            "BENCH_failover.json",
+            "python -m repro cluster --replicas 2",
+        ):
+            assert phrase in readme, phrase
+
+    def test_architecture_section(self, architecture):
+        assert "## Replication & failover" in architecture
+        for phrase in (
+            "ReplicaGroup", "RetryPolicy", "HedgePolicy",
+            "HealthProber", "exactly-once",
+            "FRAME_BODY_TIMEOUT", "comm.send",
+            "repro_cluster_replica_state", "query_availability",
+            "probe_failures", "dedupe_replies",
+        ):
+            assert phrase in architecture, phrase
+
+    def test_documented_replication_api_exists(self):
+        import repro
+
+        for name in ("RetryPolicy", "HedgePolicy", "ReplicaState",
+                     "HealthProber"):
+            assert hasattr(repro, name), name
+
+    def test_replicas_one_semantics_documented(self, readme, architecture):
+        # the compat contract: replicas=1 is the pre-replication cluster
+        assert "replicas=1" in readme
+        assert "tests/test_cluster.py` passes unmodified" in architecture
+
+    def test_cli_replicas_flag_matches_docs(self, readme):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = parser._subparsers._group_actions[0]
+        assert "--replicas" in [
+            opt
+            for action in sub.choices["cluster"]._actions
+            for opt in action.option_strings
+        ]
+        assert "--replicas" in readme
+
+    def test_referenced_files_exist(self, readme, architecture):
+        for rel in (
+            "tests/test_replication.py",
+            "tests/test_comm_hardening.py",
+            "benchmarks/bench_failover.py",
+        ):
+            assert (ROOT / rel).exists(), rel
+            assert rel in readme or rel in architecture, rel
+
+
 class TestClusterObservabilityDocs:
     @pytest.fixture(scope="class")
     def architecture(self):
