@@ -16,6 +16,7 @@ Quickstart::
 """
 
 from .errors import (
+    AdmissionError,
     CircuitOpenError,
     ClusterError,
     CommClosedError,
@@ -39,9 +40,10 @@ from .errors import (
     XSetError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AdmissionError",
     "CircuitOpenError",
     "ClusterError",
     "CommClosedError",
@@ -84,6 +86,10 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         "QueryService": "repro.service",
         "JobHandle": "repro.service",
         "JobStatus": "repro.service",
+        "SchedulingConfig": "repro.sched.adaptive",
+        "AdmissionPolicy": "repro.sched.adaptive",
+        "CostPredictor": "repro.sched.adaptive",
+        "CostEstimate": "repro.sched.adaptive",
         "Coordinator": "repro.cluster",
         "LocalCluster": "repro.cluster",
         "ShardWorker": "repro.cluster",

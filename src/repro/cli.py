@@ -522,9 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--sius", type=int, default=0)
     from .engine import available_engines
 
+    # "auto" resolves per query from the cost model (see repro.sched.adaptive)
+    engine_choices = ("auto", *available_engines())
+
     count.add_argument(
         "--engine",
-        choices=available_engines(),
+        choices=engine_choices,
         default="",
         help="execution backend (see `python -m repro engines`)",
     )
@@ -576,7 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="vertices per generated demo graph")
     serve.add_argument("--degree", type=float, default=8.0,
                        help="average degree of the demo graphs")
-    serve.add_argument("--engine", choices=available_engines(),
+    serve.add_argument("--engine", choices=engine_choices,
                        default="batched")
     serve.set_defaults(func=_cmd_serve)
 
@@ -587,7 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dataset", default="WV")
     stats.add_argument("--pattern", default="3CF")
     stats.add_argument("--scale", type=float, default=0.25)
-    stats.add_argument("--engine", choices=available_engines(),
+    stats.add_argument("--engine", choices=engine_choices,
                        default="event")
     stats.add_argument("--prometheus", action="store_true",
                        help="also dump the metrics registry in "
@@ -603,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--dataset", default="WV")
     trace.add_argument("--pattern", default="3CF")
     trace.add_argument("--scale", type=float, default=0.25)
-    trace.add_argument("--engine", choices=available_engines(),
+    trace.add_argument("--engine", choices=engine_choices,
                        default="event")
     trace.add_argument("--export", default="",
                        help="write the trace JSON here (default: stdout)")
@@ -617,7 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="vertices of the generated demo graph")
     health.add_argument("--degree", type=float, default=8.0,
                         help="average degree of the demo graph")
-    health.add_argument("--engine", choices=available_engines(),
+    health.add_argument("--engine", choices=engine_choices,
                         default="batched")
     health.add_argument("--chaos", action="store_true",
                         help="arm a deterministic fault plan under the "
@@ -642,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="vertices of the generated demo graph")
     cluster.add_argument("--degree", type=float, default=10.0,
                          help="average degree of the demo graph")
-    cluster.add_argument("--engine", choices=available_engines(),
+    cluster.add_argument("--engine", choices=engine_choices,
                          default="batched")
     cluster.add_argument("--transport", choices=("inproc", "tcp"),
                          default="inproc",

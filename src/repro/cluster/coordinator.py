@@ -72,6 +72,9 @@ from ..obs.tracing import Span
 from ..patterns.plan import build_plan
 from ..resilience import BreakerBoard, BreakerState, HealthReport, \
     HealthState
+from ..sched.adaptive import CostPredictor, query_features
+from ..sched.adaptive.selector import auto_engine
+from ..service.cache import pattern_cache_key
 from .comm.base import Connection, Transport, get_transport
 from .merge import merge_replies
 from .partition import ShardSpec, make_shards
@@ -92,6 +95,16 @@ PROFILE_LIMIT = 256
 
 #: recent per-shard request latencies kept for hedge-delay estimation
 LATENCY_WINDOW = 256
+
+#: scatter deadline budget = predicted shard latency × this safety factor
+#: (applied only to profile-backed predictions, clamped to
+#: [DEADLINE_FLOOR, the configured deadline budget])
+DEADLINE_SAFETY = 8.0
+#: minimum prediction-derived scatter deadline (seconds)
+DEADLINE_FLOOR = 1.0
+#: cold-start hedge delay = predicted shard latency × this factor (used
+#: before the latency window has enough samples for the percentile rule)
+HEDGE_PREDICTION_FACTOR = 2.0
 
 
 @dataclass(frozen=True)
@@ -402,6 +415,11 @@ class Coordinator:
         self._latency: "dict[str, Window]" = {
             sg.name: Window(LATENCY_WINDOW) for sg in self._groups
         }
+        #: per-shard cost model: trained from each shard's measured
+        #: subquery latency, keyed by (graph@shard, canonical pattern);
+        #: drives prediction-derived scatter deadlines and cold-start
+        #: hedge delays, and its accuracy histogram lands in metrics
+        self.predictor = CostPredictor(registry=self.metrics)
         self._pool = ThreadPoolExecutor(
             max_workers=max(len(self._groups), len(self._replicas)),
             thread_name_prefix="cluster-scatter",
@@ -593,13 +611,18 @@ class Coordinator:
         sg: _ShardGroup,
         payload: dict,
         span: "Span | None" = None,
+        budget: "float | None" = None,
+        predicted: float = 0.0,
     ) -> "tuple[object, dict]":
         """One subquery against one shard group, with failover/hedging.
 
         Returns ``(reply value, meta)`` where meta records which
         replica served and how many failovers/hedges it took.  Raises
         :class:`ClusterError` only when every candidate replica failed
-        within the retry and deadline budget.
+        within the retry and deadline budget.  ``budget`` overrides the
+        retry deadline budget (prediction-derived scatter deadlines);
+        ``predicted`` seeds the hedge delay before the latency window
+        has enough samples for the percentile rule.
         """
         candidates = self._candidates(sg, payload.get("graph_id"))
         if not candidates:
@@ -607,7 +630,9 @@ class Coordinator:
             raise ClusterError(
                 f"shard {sg.name!r} has no routable replicas"
             )
-        deadline = time.monotonic() + self._deadline_budget()
+        deadline = time.monotonic() + (
+            budget if budget is not None else self._deadline_budget()
+        )
         try:
             hedge_delay = (
                 self.hedge.delay(self._latency[sg.name])
@@ -615,6 +640,23 @@ class Coordinator:
                 and payload.get("op") == "query"
                 else None
             )
+            if (
+                hedge_delay is None
+                and predicted > 0.0
+                and self._hedge_pool is not None
+                and len(candidates) >= 2
+                and payload.get("op") == "query"
+            ):
+                # cold start: no latency history yet, but the cost model
+                # already knows roughly how long this shard should take —
+                # hedge when the primary runs well past its prediction
+                hedge_delay = min(
+                    max(
+                        predicted * HEDGE_PREDICTION_FACTOR,
+                        self.hedge.min_delay,
+                    ),
+                    self.hedge.max_delay,
+                )
             if hedge_delay is not None:
                 value, meta = self._hedged_request(
                     sg, candidates, payload, deadline, hedge_delay
@@ -655,6 +697,8 @@ class Coordinator:
         self, sg: _ShardGroup, replica: _Replica, payload: dict,
         deadline: float,
     ):
+        """Returns ``(value, elapsed_seconds)`` — the measured latency
+        feeds both the hedge window and the cost predictor."""
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             raise ClusterError(
@@ -666,8 +710,9 @@ class Coordinator:
             replica, payload,
             timeout=min(self.request_timeout, remaining),
         )
-        self._latency[sg.name].add(time.perf_counter() - started)
-        return value
+        elapsed = time.perf_counter() - started
+        self._latency[sg.name].add(elapsed)
+        return value, elapsed
 
     def _failover_request(
         self,
@@ -691,7 +736,9 @@ class Coordinator:
                     time.sleep(min(pause, max(remaining, 0.0)))
             replica = candidates[attempt % len(candidates)]
             try:
-                value = self._timed_call(sg, replica, payload, deadline)
+                value, elapsed = self._timed_call(
+                    sg, replica, payload, deadline
+                )
             except (CommError, ClusterError) as exc:
                 errors[replica.name] = repr(exc)
                 if attempt + 1 < attempts:
@@ -704,6 +751,7 @@ class Coordinator:
                 "replica": replica.name,
                 "failovers": attempt,
                 "hedged": False,
+                "elapsed": elapsed,
             }
         raise ClusterError(
             f"shard {sg.name!r} failed on every replica within its "
@@ -732,9 +780,10 @@ class Coordinator:
         )
         pending[f_primary] = primary
         try:
-            value = f_primary.result(timeout=hedge_delay)
+            value, elapsed = f_primary.result(timeout=hedge_delay)
             return value, {
                 "replica": primary.name, "failovers": 0, "hedged": False,
+                "elapsed": elapsed,
             }
         except FutureTimeoutError:
             pass  # straggler: hedge fires below
@@ -766,7 +815,7 @@ class Coordinator:
             self._timed_call, sg, backup, payload, deadline
         )
         pending[f_backup] = backup
-        winner: "tuple[object, _Replica] | None" = None
+        winner: "tuple[object, float, _Replica] | None" = None
         while pending and winner is None:
             remaining = deadline - time.monotonic()
             done, _ = futures_wait(
@@ -779,18 +828,18 @@ class Coordinator:
             for future in done:
                 replica = pending.pop(future)
                 try:
-                    value = future.result()
+                    value, elapsed = future.result()
                 except (CommError, ClusterError) as exc:
                     errors[replica.name] = repr(exc)
                     continue
-                winner = (value, replica)
+                winner = (value, elapsed, replica)
                 break
         if winner is None:
             raise ClusterError(
                 f"shard {sg.name!r} hedged subquery failed on both "
                 f"replicas: {errors or 'deadline exhausted'}"
             )
-        value, replica = winner
+        value, elapsed, replica = winner
         for future, loser in pending.items():
             future.add_done_callback(
                 self._make_hedge_drop(sg, loser)
@@ -799,6 +848,7 @@ class Coordinator:
             "replica": replica.name,
             "failovers": 0,
             "hedged": True,
+            "elapsed": elapsed,
         }
 
     def _make_hedge_drop(self, sg: _ShardGroup, loser: _Replica):
@@ -1036,6 +1086,31 @@ class Coordinator:
         self.metrics.counter(
             "repro_cluster_queries_total", "cluster queries accepted"
         ).inc()
+        # per-shard cost predictions: each shard's slice has its own
+        # stats, so a skewed partition legitimately predicts unevenly
+        predict_engine = engine or cfg.engine
+        if predict_engine == "auto":
+            predict_engine = auto_engine()
+        pkey = pattern_cache_key(pattern, induced)
+        predictions: "dict[str, tuple]" = {}
+        for sg, placement in targets:
+            spec = placement.spec
+            if spec is None:
+                continue
+            feats = query_features(
+                spec.graph, f"{graph_id}@{sg.name}", pkey
+            )
+            est = self.predictor.predict(feats, predict_engine)
+            budget = None
+            if est.source == "profile":
+                # only measured history tightens the deadline — the
+                # conservative prior would cut off legitimately slow
+                # first-contact queries
+                budget = min(
+                    self._deadline_budget(),
+                    max(est.seconds * DEADLINE_SAFETY, DEADLINE_FLOOR),
+                )
+            predictions[sg.name] = (feats, est, budget)
         tracer = self._tracer
         trace_id = new_trace_id() if tracer is not None else None
         started = time.perf_counter()
@@ -1087,16 +1162,27 @@ class Coordinator:
                         sspan,
                     )
                 )
-            futures = [
-                (
-                    sg,
-                    placement,
-                    self._pool.submit(
-                        self._shard_request, sg, payload, sspan
-                    ),
+            futures = []
+            for sg, placement, payload, sspan in calls:
+                _, est, budget = predictions.get(
+                    sg.name, (None, None, None)
                 )
-                for sg, placement, payload, sspan in calls
-            ]
+                futures.append(
+                    (
+                        sg,
+                        placement,
+                        self._pool.submit(
+                            self._shard_request,
+                            sg,
+                            payload,
+                            sspan,
+                            budget=budget,
+                            predicted=(
+                                est.seconds if est is not None else 0.0
+                            ),
+                        ),
+                    )
+                )
             replies: "list[tuple[tuple[int, int], SimReport]]" = []
             served_by: dict[str, str] = {}
             failed: dict[str, str] = {}
@@ -1118,6 +1204,17 @@ class Coordinator:
                 failovers += meta.get("failovers", 0)
                 hedged += 1 if meta.get("hedged") else 0
                 served_by[sg.name] = meta.get("replica", sg.name)
+                shard_elapsed = meta.get("elapsed")
+                prediction = predictions.get(sg.name)
+                if prediction is not None and shard_elapsed:
+                    feats, est, _ = prediction
+                    self.predictor.observe(
+                        feats, predict_engine, shard_elapsed
+                    )
+                    if est.seconds > 0.0:
+                        self.predictor.record_accuracy(
+                            est.seconds, shard_elapsed
+                        )
                 envelope = value if isinstance(value, dict) else {
                     "report": value
                 }
@@ -1171,6 +1268,10 @@ class Coordinator:
             "served_by": served_by,
             "failovers": failovers,
             "hedged": hedged,
+            "predicted_seconds": {
+                name: round(est.seconds, 6)
+                for name, (_, est, _) in predictions.items()
+            },
         }
         if trace_id is not None:
             merged.notes["cluster"]["trace_id"] = trace_id
@@ -1326,6 +1427,17 @@ class Coordinator:
             replica.name: (None if exc is not None else value)
             for replica, value, exc in results
         }
+
+    def predictor_snapshot(self) -> dict:
+        """Accuracy + coverage of the coordinator's per-shard cost model.
+
+        The same shape as the service-level
+        ``QueryService.stats().predictor`` snapshot: the accuracy window
+        (predicted/actual ratio percentiles, fraction within 2x), the
+        number of observations, profiled shapes, and learned per-engine
+        throughput rates.
+        """
+        return self.predictor.snapshot()
 
     def shard_flight(self, shard: str) -> dict:
         """Fetch one live shard's flight-recorder ring (``op: flight``).

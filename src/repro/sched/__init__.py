@@ -1,4 +1,12 @@
-"""Task structures and scheduling policies for the GPM search tree."""
+"""Task structures and scheduling policies for the GPM search tree.
+
+Two scheduling layers live here: the paper's per-PE hardware schedulers
+(:mod:`repro.sched.policies`) and the service-level adaptive stack
+(:mod:`repro.sched.adaptive` — cost predictor, engine auto-selection,
+cost-ranked dispatch, deadline-aware admission control).  The adaptive
+names are re-exported lazily so importing ``repro.sched`` for
+:class:`SimTask` stays cheap.
+"""
 
 from .policies import (
     BarrierFreeScheduler,
@@ -11,12 +19,42 @@ from .policies import (
 from .task import SimTask, TaskSetState
 
 __all__ = [
+    "AdmissionPolicy",
     "BarrierFreeScheduler",
+    "CostEstimate",
+    "CostPredictor",
     "DFSScheduler",
     "PseudoDFSScheduler",
+    "QueryFeatures",
     "SchedulerBase",
+    "SchedulingConfig",
     "ShogunScheduler",
     "SimTask",
     "TaskSetState",
+    "auto_engine",
     "make_scheduler",
+    "query_features",
+    "select_engine",
 ]
+
+#: adaptive-layer names resolved on first attribute access
+_ADAPTIVE = frozenset(
+    {
+        "AdmissionPolicy",
+        "CostEstimate",
+        "CostPredictor",
+        "QueryFeatures",
+        "SchedulingConfig",
+        "auto_engine",
+        "query_features",
+        "select_engine",
+    }
+)
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    if name in _ADAPTIVE:
+        from importlib import import_module
+
+        return getattr(import_module("repro.sched.adaptive"), name)
+    raise AttributeError(f"module 'repro.sched' has no attribute {name!r}")

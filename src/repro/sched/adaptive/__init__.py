@@ -1,0 +1,57 @@
+"""Cost-model-driven adaptive scheduling (``repro.sched.adaptive``).
+
+The hardware scheduler (``repro.sched.policies``) decides which task a PE
+runs next inside one simulated accelerator; this package makes the same
+decision one level up, for the *service*: which engine runs a query,
+in which order queued queries dispatch, and whether a deadline-bearing
+query should be admitted at all.  The pieces:
+
+* :mod:`~repro.sched.adaptive.features` — deterministic, relabeling-
+  invariant feature extraction per ``(graph fingerprint, canonical
+  pattern)``;
+* :mod:`~repro.sched.adaptive.predictor` — the online cost model
+  (per-shape EWMA → learned engine throughput → conservative prior) with
+  self-reported accuracy;
+* :mod:`~repro.sched.adaptive.selector` — ``engine="auto"`` resolution
+  from predicted cost and breaker state;
+* :mod:`~repro.sched.adaptive.admission` — deadline-aware admission
+  control raising a typed :class:`~repro.errors.AdmissionError`;
+* :mod:`~repro.sched.adaptive.config` — the ``SchedulingConfig`` bundle
+  the :class:`~repro.service.service.QueryService` consumes.
+"""
+
+from .admission import AdmissionPolicy
+from .config import QUEUE_POLICIES, SchedulingConfig
+from .features import (
+    PlanFeatures,
+    QueryFeatures,
+    analytic_work,
+    plan_features,
+    query_features,
+)
+from .predictor import (
+    DEFAULT_ENGINE_SPEED,
+    ERROR_RATIO_BUCKETS,
+    CostEstimate,
+    CostPredictor,
+)
+from .selector import AUTO_ENGINE, AUTO_PREFERENCE, auto_engine, select_engine
+
+__all__ = [
+    "AUTO_ENGINE",
+    "AUTO_PREFERENCE",
+    "AdmissionPolicy",
+    "CostEstimate",
+    "CostPredictor",
+    "DEFAULT_ENGINE_SPEED",
+    "ERROR_RATIO_BUCKETS",
+    "PlanFeatures",
+    "QUEUE_POLICIES",
+    "QueryFeatures",
+    "SchedulingConfig",
+    "analytic_work",
+    "auto_engine",
+    "plan_features",
+    "query_features",
+    "select_engine",
+]

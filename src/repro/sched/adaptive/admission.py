@@ -1,0 +1,96 @@
+"""Deadline-aware admission control.
+
+Load shedding (the resilience layer's OVERLOADED state) is blind: it
+rejects by priority once the queue is already deep, regardless of whether
+a given query could still meet its deadline.  Admission control is the
+informed version — at submit time, project the query's completion from
+the predicted backlog drain plus its own predicted cost, and reject with
+a typed :class:`~repro.errors.AdmissionError` when the deadline cannot be
+met.  Rejecting at the door is strictly kinder than accepting work that
+will be reaped as TIMEOUT after burning queue space and worker time.
+
+The projection is intentionally simple and pessimistic-by-default::
+
+    projected = backlog_seconds / workers + predicted_seconds * safety
+
+``backlog_seconds`` sums the predicted cost of every job already queued
+(the queue drains across ``workers`` lanes); ``safety_factor`` inflates
+the query's own estimate so prior-tier predictions (conservative already)
+and profile-tier ones (tight) both leave headroom.  Queries without a
+deadline are always admitted — there is nothing to violate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import AdmissionError
+
+__all__ = ["AdmissionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for deadline-aware admission control (disabled by default)."""
+
+    #: master switch; off keeps submit() byte-identical to the pre-admission
+    #: service (deadline misses are then only reaped at dispatch time)
+    enabled: bool = False
+    #: multiplier on the query's own predicted cost before projecting
+    safety_factor: float = 1.5
+    #: deadlines shorter than this are never admission-rejected — they are
+    #: allowed to try, keeping sub-millisecond cache-adjacent queries out of
+    #: the controller's blast radius when the predictor is still cold
+    min_deadline_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.safety_factor <= 0.0:
+            raise ValueError("safety_factor must be > 0")
+        if self.min_deadline_seconds < 0.0:
+            raise ValueError("min_deadline_seconds must be >= 0")
+
+    def projected_completion(
+        self,
+        *,
+        predicted_seconds: float,
+        backlog_seconds: float,
+        workers: int,
+    ) -> float:
+        """Seconds from now until this query is projected to finish."""
+        drain = max(backlog_seconds, 0.0) / max(int(workers), 1)
+        return drain + max(predicted_seconds, 0.0) * self.safety_factor
+
+    def check(
+        self,
+        *,
+        timeout: float,
+        predicted_seconds: float,
+        backlog_seconds: float,
+        workers: int,
+        describe: str = "query",
+    ) -> float:
+        """Admit or raise; returns the projected completion in seconds.
+
+        ``timeout`` is the submitter's relative deadline.  Raises
+        :class:`~repro.errors.AdmissionError` when the projection exceeds
+        it (and the policy is enabled and the deadline is long enough to
+        be worth protecting).
+        """
+        projected = self.projected_completion(
+            predicted_seconds=predicted_seconds,
+            backlog_seconds=backlog_seconds,
+            workers=workers,
+        )
+        if (
+            self.enabled
+            and timeout >= self.min_deadline_seconds
+            and projected > timeout
+        ):
+            raise AdmissionError(
+                f"{describe} cannot meet its {timeout:.3f}s deadline: "
+                f"projected completion {projected:.3f}s "
+                f"(backlog {backlog_seconds:.3f}s across {workers} "
+                f"worker(s), own predicted cost {predicted_seconds:.3f}s "
+                f"x{self.safety_factor:g} safety)"
+            )
+        return projected

@@ -1,0 +1,47 @@
+"""The service-facing scheduling configuration bundle.
+
+One frozen record the :class:`~repro.service.service.QueryService`
+accepts as ``scheduling=``: which dispatch policy the job queue runs,
+the anti-starvation bound for the cost policy, and the admission-control
+knobs.  Defaults are the adaptive stack as shipped — cost-ranked
+dispatch on, admission control off (it only bites when the caller sets
+deadlines and opts in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .admission import AdmissionPolicy
+
+__all__ = ["SchedulingConfig", "QUEUE_POLICIES"]
+
+#: dispatch policies the job queue understands
+QUEUE_POLICIES = ("fifo", "cost")
+
+
+@dataclass(frozen=True)
+class SchedulingConfig:
+    """Dispatch-policy and admission knobs for one :class:`QueryService`."""
+
+    #: "cost" = shortest-predicted-job-first within a priority class (with
+    #: the aging bound below); "fifo" = the pre-adaptive submit order
+    policy: str = "cost"
+    #: a queued job older than this (seconds on the service clock)
+    #: dispatches ahead of cheaper newcomers — bounds starvation of heavy
+    #: jobs under a stream of light ones.  None disables aging.
+    age_limit_seconds: float | None = 2.0
+    #: deadline-aware admission control (off by default)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+
+    def __post_init__(self) -> None:
+        if self.policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {self.policy!r}; "
+                f"available: {', '.join(QUEUE_POLICIES)}"
+            )
+        if (
+            self.age_limit_seconds is not None
+            and self.age_limit_seconds <= 0.0
+        ):
+            raise ValueError("age_limit_seconds must be > 0 (or None)")

@@ -23,6 +23,7 @@ Quickstart::
         print(svc.stats().summary())
 """
 
+from ..sched.adaptive import AdmissionPolicy, SchedulingConfig
 from .cache import CacheKey, ResultCache, pattern_cache_key
 from .job import Job, JobHandle, JobStatus
 from .registry import GraphRecord, GraphRegistry
@@ -31,6 +32,7 @@ from .service import MODES, InlineExecutor, QueryService
 from .stats import LatencyRecorder, ServiceStats
 
 __all__ = [
+    "AdmissionPolicy",
     "CacheKey",
     "GraphRecord",
     "GraphRegistry",
@@ -44,6 +46,7 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "RetryPolicy",
+    "SchedulingConfig",
     "ServiceStats",
     "pattern_cache_key",
 ]

@@ -187,7 +187,23 @@ class Job:
     verify_engine: str | None = None
     #: fault specs assigned by the armed plan for the current attempt
     faults: Any = None
+    #: predicted wall seconds from the cost model (0.0 = no prediction)
+    predicted_seconds: float = 0.0
+    #: query feature vector used for the prediction (trains the predictor
+    #: when the job completes); None when the adaptive layer is off
+    features: Any = None
+    #: service-clock timestamp of the most recent queue push (queue-wait
+    #: accounting and the cost policy's anti-starvation aging bound)
+    enqueued_at: float = 0.0
+    #: queue-internal: True once pop() handed the job out — the heap and
+    #: the aging deque cross-reference each other through this flag
+    taken: bool = False
 
     def sort_key(self) -> tuple[int, int]:
-        """Heap order: lower priority value first, FIFO within a priority."""
+        """FIFO heap order: lower priority value first, then submit order."""
         return (self.priority, self.seq)
+
+    def cost_key(self) -> tuple[int, float, int]:
+        """Cost heap order: priority, then shortest predicted job, then
+        submit order — identical predictions degrade to FIFO."""
+        return (self.priority, self.predicted_seconds, self.seq)

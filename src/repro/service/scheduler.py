@@ -1,11 +1,24 @@
 """Job queue and retry policy for the service dispatcher.
 
-The queue is a bounded binary heap ordered by ``(priority, submit seq)`` —
-lower priority values dispatch first, FIFO within a priority class, which
-is the process-level analogue of the X-SET scheduler's in-order TaskSet
-draining.  Backpressure is a typed error, never a blocking submit: a full
-queue raises :class:`~repro.errors.QueueFullError` so callers can shed
-load (the paper's "heavy traffic" framing demands the service itself stay
+The queue is a bounded binary heap with two dispatch policies:
+
+``fifo``
+    Ordered by ``(priority, submit seq)`` — lower priority values
+    dispatch first, FIFO within a priority class.  The process-level
+    analogue of the X-SET scheduler's in-order TaskSet draining, and the
+    pre-adaptive service behaviour.
+``cost``
+    Ordered by ``(priority, predicted seconds, submit seq)`` — shortest
+    predicted job first within a priority class, so one heavy clique
+    query stops blowing the p99 of hundreds of cheap triangle counts.
+    Jobs with identical predictions degrade to FIFO, and an
+    **anti-starvation aging bound** guarantees progress: a job queued
+    longer than ``age_limit`` seconds dispatches ahead of cheaper
+    newcomers (tracked in arrival order through a side deque).
+
+Backpressure is a typed error, never a blocking submit: a full queue
+raises :class:`~repro.errors.QueueFullError` so callers can shed load
+(the paper's "heavy traffic" framing demands the service itself stay
 responsive).
 
 Cancelled jobs are removed lazily (tombstoned), deadline-expired jobs are
@@ -19,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+from collections import deque
 from dataclasses import dataclass
 
 from ..errors import QueueFullError
@@ -46,15 +60,39 @@ class RetryPolicy:
 
 
 class JobQueue:
-    """Bounded priority/FIFO queue of :class:`Job` records."""
+    """Bounded priority queue of :class:`Job` records (fifo/cost policy)."""
 
-    def __init__(self, limit: int = 256, on_timeout=None) -> None:
+    def __init__(
+        self,
+        limit: int = 256,
+        on_timeout=None,
+        *,
+        policy: str = "fifo",
+        age_limit: float | None = None,
+    ) -> None:
+        if policy not in ("fifo", "cost"):
+            raise ValueError(
+                f"unknown queue policy {policy!r}; available: fifo, cost"
+            )
         self.limit = max(int(limit), 1)
-        self._heap: list[tuple[int, int, Job]] = []
+        self.policy = policy
+        #: seconds after which a queued job outranks cheaper newcomers
+        #: (cost policy only; None disables aging)
+        self.age_limit = age_limit
+        self._heap: list[tuple[tuple, int, Job]] = []
+        #: arrival-order view for the aging bound (cost policy only)
+        self._arrivals: deque[Job] = deque()
         self._live = 0
         self._lock = threading.Lock()
         #: called with each job whose queue deadline expired (stats hook)
         self._on_timeout = on_timeout
+
+    def _key(self, job: Job) -> tuple:
+        return job.cost_key() if self.policy == "cost" else job.sort_key()
+
+    @staticmethod
+    def _pending(job: Job) -> bool:
+        return not job.taken and job.handle.status is JobStatus.PENDING
 
     def push(self, job: Job) -> None:
         with self._lock:
@@ -62,16 +100,46 @@ class JobQueue:
                 # the fast counter includes cancelled tombstones; recount
                 # before rejecting so cancellations free queue space
                 self._live = sum(
-                    1 for _, _, j in self._heap
-                    if j.handle.status is JobStatus.PENDING
+                    1 for _, _, j in self._heap if self._pending(j)
                 )
             if self._live >= self.limit:
                 raise QueueFullError(
                     f"service queue is full ({self.limit} jobs pending); "
                     f"retry later or raise queue_limit"
                 )
-            heapq.heappush(self._heap, (*job.sort_key(), job))
+            job.taken = False
+            heapq.heappush(self._heap, (self._key(job), job.seq, job))
+            if self.policy == "cost" and self.age_limit is not None:
+                self._arrivals.append(job)
             self._live += 1
+
+    def _take_starving(self, now: float) -> tuple[str, Job] | None:
+        """Arrival-order head older than the aging bound, if dispatchable.
+
+        Called under the lock.  Prunes taken/finished heads as it goes;
+        returns ``("run", job)`` for a starving runnable job (removed and
+        marked taken) or ``("timeout", job)`` when the starving head's
+        own deadline expired (caller finishes it outside the lock).
+        """
+        if self.policy != "cost" or self.age_limit is None:
+            return None
+        while self._arrivals:
+            job = self._arrivals[0]
+            if not self._pending(job):
+                self._arrivals.popleft()
+                continue
+            if now - job.enqueued_at < self.age_limit:
+                return None  # youngest-possible head is not starving yet
+            if job.deadline is not None and now > job.deadline:
+                self._arrivals.popleft()
+                job.taken = True
+                return ("timeout", job)
+            if job.not_before is not None and now < job.not_before:
+                return None  # parked on retry backoff; cannot jump ahead
+            self._arrivals.popleft()
+            job.taken = True
+            return ("run", job)
+        return None
 
     def pop(self, now: float) -> Job | None:
         """Next runnable job, or None.
@@ -80,19 +148,34 @@ class JobQueue:
         passed (``job.deadline < now``) to ``TIMEOUT``, and leaves jobs
         whose retry backoff (``job.not_before``) has not yet elapsed in
         the queue — everything is assessed lazily, at dispatch time,
-        against the injected clock.
+        against the injected clock.  Under the cost policy, a job queued
+        past ``age_limit`` seconds dispatches first regardless of its
+        predicted cost (anti-starvation).
         """
         deferred: list[Job] = []
         try:
             while True:
                 with self._lock:
+                    starving = self._take_starving(now)
+                if starving is not None:
+                    verdict, job = starving
+                    if verdict == "timeout":
+                        if job.handle._finish(JobStatus.TIMEOUT) and \
+                                self._on_timeout is not None:
+                            self._on_timeout(job)
+                        continue
+                    return job
+                with self._lock:
                     if not self._heap:
                         return None
                     _, _, job = heapq.heappop(self._heap)
                     self._live -= 1
+                if job.taken:
+                    continue  # already handed out through the aging path
                 if job.handle.status is not JobStatus.PENDING:
                     continue  # cancelled (or otherwise finished) while queued
                 if job.deadline is not None and now > job.deadline:
+                    job.taken = True
                     if job.handle._finish(JobStatus.TIMEOUT) and \
                             self._on_timeout is not None:
                         self._on_timeout(job)
@@ -100,12 +183,15 @@ class JobQueue:
                 if job.not_before is not None and now < job.not_before:
                     deferred.append(job)  # backoff pending; stays queued
                     continue
+                job.taken = True
                 return job
         finally:
             if deferred:
                 with self._lock:
                     for job in deferred:
-                        heapq.heappush(self._heap, (*job.sort_key(), job))
+                        heapq.heappush(
+                            self._heap, (self._key(job), job.seq, job)
+                        )
                         self._live += 1
 
     def drain(self) -> list[Job]:
@@ -116,21 +202,29 @@ class JobQueue:
         """
         with self._lock:
             heap, self._heap = self._heap, []
+            self._arrivals.clear()
             self._live = 0
-        return [
-            job for _, _, job in heap
-            if job.handle.status is JobStatus.PENDING
-        ]
+        return [job for _, _, job in heap if self._pending(job)]
 
     def depth(self) -> int:
         """Live (non-tombstoned) queued jobs."""
         with self._lock:
-            live = sum(
-                1 for _, _, job in self._heap
-                if job.handle.status is JobStatus.PENDING
-            )
+            live = sum(1 for _, _, job in self._heap if self._pending(job))
             self._live = live
             return live
+
+    def predicted_backlog(self) -> float:
+        """Summed predicted seconds of every live queued job.
+
+        The admission controller's backlog estimate: how much predicted
+        work is already waiting (jobs with no prediction contribute 0).
+        """
+        with self._lock:
+            return sum(
+                job.predicted_seconds
+                for _, _, job in self._heap
+                if self._pending(job)
+            )
 
     def __len__(self) -> int:
         return self.depth()

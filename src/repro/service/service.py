@@ -61,6 +61,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from ..core.config import SystemConfig, xset_default
 from ..core.incremental import IncrementalGPM
 from ..errors import (
+    AdmissionError,
     CircuitOpenError,
     InjectedCrashError,
     LoadShedError,
@@ -72,6 +73,12 @@ from ..obs import MetricsRegistry, Observation, Tracer
 from ..obs.export import chrome_trace_events
 from ..obs.flight import FlightRecorder
 from ..patterns.plan import build_plan
+from ..sched.adaptive import (
+    CostPredictor,
+    SchedulingConfig,
+    query_features,
+    select_engine,
+)
 from ..resilience import (
     BreakerBoard,
     BreakerState,
@@ -146,6 +153,7 @@ class QueryService:
         start_paused: bool = False,
         observability: bool = False,
         resilience: ResilienceConfig | None = None,
+        scheduling: SchedulingConfig | None = None,
     ) -> None:
         if mode not in MODES:
             raise ServiceError(
@@ -166,11 +174,21 @@ class QueryService:
         self._owns_executor = executor is None
         self._registry = GraphRegistry()
         self._cache = ResultCache(cache_capacity)
-        self._queue = JobQueue(queue_limit, on_timeout=self._note_timeout)
+        # -- adaptive scheduling (cost model, dispatch policy, admission) --
+        self.scheduling = scheduling or SchedulingConfig()
+        self._queue = JobQueue(
+            queue_limit,
+            on_timeout=self._note_timeout,
+            policy=self.scheduling.policy,
+            age_limit=self.scheduling.age_limit_seconds,
+        )
         # metrics always exist (they are cheap, per-job bookkeeping);
         # span tracing + per-query profiling is opt-in via observability=
         self.metrics = MetricsRegistry()
         self._latency = LatencyRecorder(registry=self.metrics)
+        #: online cost model trained from every completed job; drives
+        #: engine auto-selection, cost-ranked dispatch and admission
+        self.predictor = CostPredictor(registry=self.metrics)
         self._observation: Observation | None = (
             Observation(
                 registry=self.metrics,
@@ -227,6 +245,8 @@ class QueryService:
         self._crosscheck_mismatches = 0
         self._faults_injected = 0
         self._dispatcher_stuck = False
+        self._rejected = 0
+        self._auto_selected: dict[str, int] = {}
 
     def _on_breaker_transition(self, engine, old, new) -> None:
         """Breaker state changes land in the flight recorder (one append;
@@ -343,9 +363,38 @@ class QueryService:
                 )
             root_range = (lo, hi)
         plan = build_plan(pattern, induced=induced)
+        pkey = pattern_cache_key(pattern, induced)
+        features = query_features(record.graph, record.fingerprint, pkey)
+        board = self._breakers
+        if cfg.engine == "auto":
+            # pick the cheapest predicted backend whose breaker allows it;
+            # the concrete choice lands in cfg (and the cache key) so
+            # everything downstream sees a real engine, never the sentinel
+            estimate = select_engine(
+                self.predictor,
+                features,
+                allow=(
+                    None if board is None
+                    else lambda e: board.for_engine(e).allow()
+                ),
+            )
+            cfg = cfg.with_overrides(engine=estimate.engine)
+            self.metrics.counter(
+                "repro_auto_engine_total",
+                'engine="auto" resolutions per chosen backend',
+                engine=estimate.engine,
+                source=estimate.source,
+            ).inc()
+            with self._cond:
+                self._auto_selected[estimate.engine] = (
+                    self._auto_selected.get(estimate.engine, 0) + 1
+                )
+        else:
+            estimate = self.predictor.predict(features, cfg.engine)
+        predicted = estimate.seconds
         key = CacheKey(
             fingerprint=record.fingerprint,
-            pattern_key=pattern_cache_key(pattern, induced),
+            pattern_key=pkey,
             config_key=cfg.cache_key(),
             root_key=root_range,
         )
@@ -412,6 +461,38 @@ class QueryService:
                     self._submitted += 1
                     self._completed += 1
                 return handle
+        admission = self.scheduling.admission
+        if admission.enabled and timeout is not None:
+            # reject-at-submit: a deadline the predicted completion time
+            # cannot meet (given the work already queued) fails NOW with a
+            # typed error instead of timing out after consuming resources
+            try:
+                admission.check(
+                    timeout=timeout,
+                    predicted_seconds=predicted,
+                    backlog_seconds=self._queue.predicted_backlog(),
+                    workers=self.max_workers,
+                    describe=f"{pattern.name!r} on {graph_id!r}",
+                )
+            except AdmissionError:
+                self.metrics.counter(
+                    "repro_jobs_rejected_total",
+                    "submissions rejected by admission control",
+                ).inc()
+                self.flight.record(
+                    "admission_reject",
+                    job_id=handle.job_id,
+                    graph_id=graph_id,
+                    pattern=pattern.name,
+                    timeout=timeout,
+                    predicted_seconds=predicted,
+                )
+                if ob is not None and job_span is not None:
+                    job_span.set_attr("outcome", "rejected")
+                    ob.tracer.end_span(job_span)
+                with self._cond:
+                    self._rejected += 1
+                raise
         job = Job(
             handle=handle,
             graph_id=graph_id,
@@ -426,6 +507,9 @@ class QueryService:
                 None if timeout is None else self._clock() + timeout
             ),
             record=record,  # snapshot pinned at submit time
+            predicted_seconds=predicted,
+            features=features,
+            enqueued_at=self._clock(),
             span=job_span,
             queued_span=(
                 ob.tracer.start_span("service.queued", parent=job_span)
@@ -635,6 +719,10 @@ class QueryService:
             attempt=job.attempts,
         )
         job.dispatched_at = time.perf_counter()
+        if job.enqueued_at:
+            self._latency.record_queue_wait(
+                max(self._clock() - job.enqueued_at, 0.0)
+            )
         if job.queued_span is not None and self._observation is not None:
             self._observation.tracer.end_span(job.queued_span)
             job.queued_span = None
@@ -857,6 +945,23 @@ class QueryService:
                 ).inc()
                 elapsed = time.perf_counter() - job.dispatched_at
                 self._latency.record(job.config.engine, elapsed)
+                if (
+                    job.features is not None
+                    and job.verify_engine is None
+                    and not notes.get("injected")
+                    and not mismatch
+                ):
+                    # clean single-engine run: valid training data for the
+                    # cost model (cross-checked jobs time two engines;
+                    # fault-perturbed timings are noise).  Rerouted jobs
+                    # train too — keyed by the engine that actually ran.
+                    self.predictor.observe(
+                        job.features, job.config.engine, elapsed
+                    )
+                    if job.predicted_seconds > 0.0:
+                        self.predictor.record_accuracy(
+                            job.predicted_seconds, elapsed
+                        )
                 self.flight.record(
                     "done",
                     job_id=job.handle.job_id,
@@ -907,6 +1012,7 @@ class QueryService:
                 job.not_before = self._clock() + delay
             self._rebuild_executor_if_broken()
             job.handle._requeue()
+            job.enqueued_at = self._clock()
             try:
                 self._queue.push(job)
             except QueueFullError as full:
@@ -941,6 +1047,7 @@ class QueryService:
                     )
                 self._rebuild_executor_if_broken()
                 job.handle._requeue()
+                job.enqueued_at = self._clock()
                 try:
                     self._queue.push(job)
                 except QueueFullError as full:
@@ -1123,6 +1230,8 @@ class QueryService:
             mismatches = self._crosscheck_mismatches
             faults = self._faults_injected
             stuck = self._dispatcher_stuck
+            rejected = self._rejected
+            auto_selected = dict(self._auto_selected)
         self.metrics.gauge(
             "repro_queue_depth", "jobs currently queued"
         ).set(self._queue.depth())
@@ -1165,6 +1274,10 @@ class QueryService:
             faults_injected=faults,
             health=health.name.lower(),
             dispatcher_stuck=stuck,
+            rejected=rejected,
+            auto_selected=auto_selected,
+            queue_wait=self._latency.queue_wait_summary(),
+            predictor=self.predictor.snapshot(),
             cache_size=len(self._cache),
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,

@@ -50,6 +50,7 @@ class LatencyRecorder:
             registry if registry is not None else MetricsRegistry()
         )
         self._windows: dict[str, Window] = {}
+        self._queue_wait = Window(window)
         self._lock = threading.Lock()
 
     @property
@@ -68,6 +69,14 @@ class LatencyRecorder:
             engine=engine,
         ).observe(seconds)
 
+    def record_queue_wait(self, seconds: float) -> None:
+        """One job's queue-wait time (submit/requeue → dispatch)."""
+        self._queue_wait.add(seconds)
+        self._registry.histogram(
+            "repro_job_queue_wait_seconds",
+            "time jobs spent queued before dispatch",
+        ).observe(seconds)
+
     def summary(self) -> dict[str, dict[str, float]]:
         """``{engine: {"p50": ..., "p90": ..., "p99": ..., "count": n}}``."""
         with self._lock:
@@ -76,6 +85,10 @@ class LatencyRecorder:
             engine: ring.summary(PERCENTILES)
             for engine, ring in windows.items()
         }
+
+    def queue_wait_summary(self) -> dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ..., "count": n}`` of waits."""
+        return self._queue_wait.summary(PERCENTILES)
 
 
 @dataclass(frozen=True)
@@ -114,6 +127,15 @@ class ServiceStats:
     health: str = "healthy"
     #: True when shutdown() could not join the dispatcher thread
     dispatcher_stuck: bool = False
+    # -- adaptive scheduling (repro.sched.adaptive) ------------------------
+    #: submissions rejected by deadline-aware admission control
+    rejected: int = 0
+    #: ``engine="auto"`` resolutions per chosen engine
+    auto_selected: dict[str, int] = field(default_factory=dict)
+    #: queue-wait percentiles (submit → dispatch) over the recent window
+    queue_wait: dict[str, float] = field(default_factory=dict)
+    #: cost-predictor self-assessment: accuracy window + model coverage
+    predictor: dict = field(default_factory=dict)
     #: per-engine latency percentiles over the recent window
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
     #: flattened metrics-registry snapshot (``{"name{label=...}": value}``)
@@ -156,5 +178,27 @@ class ServiceStats:
                 f"p90 {pcts['p90'] * 1e3:.2f}ms  "
                 f"p99 {pcts['p99'] * 1e3:.2f}ms  "
                 f"(n={pcts['count']:.0f})"
+            )
+        if self.queue_wait.get("count"):
+            qw = self.queue_wait
+            lines.append(
+                f"queue wait: p50 {qw['p50'] * 1e3:.2f}ms  "
+                f"p99 {qw['p99'] * 1e3:.2f}ms  (n={qw['count']:.0f})"
+            )
+        if self.rejected or self.auto_selected:
+            auto = ", ".join(
+                f"{engine}={n}"
+                for engine, n in sorted(self.auto_selected.items())
+            )
+            lines.append(
+                f"adaptive: {self.rejected} admission-rejected"
+                + (f", auto-selected {auto}" if auto else "")
+            )
+        if self.predictor.get("count"):
+            pred = self.predictor
+            lines.append(
+                f"predictor: {pred.get('observations', 0):.0f} observed, "
+                f"ratio p50 {pred['p50']:.2f} p99 {pred['p99']:.2f}, "
+                f"{pred.get('within_2x', 0.0):.0%} within 2x"
             )
         return "\n".join(lines)

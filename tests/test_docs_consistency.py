@@ -194,6 +194,73 @@ class TestReplicationDocs:
             assert rel in readme or rel in architecture, rel
 
 
+class TestAdaptiveSchedulingDocs:
+    @pytest.fixture(scope="class")
+    def architecture(self):
+        return (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+
+    def test_readme_section(self, readme):
+        assert "### Adaptive scheduling & admission control" in readme
+        for phrase in (
+            'engine="auto"', "SchedulingConfig", "AdmissionPolicy",
+            "AdmissionError", "shortest-predicted-job-first",
+            "anti-starvation", "age_limit_seconds",
+            'policy="fifo"', "repro_predictor_error_ratio",
+            "BENCH_sched.json",
+        ):
+            assert phrase in readme, phrase
+
+    def test_architecture_section(self, architecture):
+        assert "## Adaptive scheduling & admission control" in architecture
+        for phrase in (
+            "CostPredictor", "profile", "throughput", "prior",
+            "relabeling-invariant", "analytic_work",
+            "predicted_backlog", "safety_factor",
+            "min_deadline_seconds", "AdmissionError",
+            "predicted_seconds", "repro_predictor_error_ratio",
+        ):
+            assert phrase in architecture, phrase
+
+    def test_documented_adaptive_api_exists(self):
+        import repro
+
+        for name in ("SchedulingConfig", "AdmissionPolicy",
+                     "CostPredictor", "CostEstimate"):
+            assert hasattr(repro, name), name
+        from repro.errors import AdmissionError  # noqa: F401
+
+    def test_scheduling_defaults_match_docs(self, readme):
+        # the README quotes the shipped defaults; keep them honest
+        from repro.sched.adaptive import SchedulingConfig
+
+        cfg = SchedulingConfig()
+        assert cfg.policy == "cost"
+        assert f"age_limit_seconds={cfg.age_limit_seconds}" in readme
+
+    def test_cli_engine_auto_matches_docs(self, readme):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = parser._subparsers._group_actions[0]
+        for cmd in ("count", "serve", "stats", "cluster"):
+            engine_actions = [
+                action for action in sub.choices[cmd]._actions
+                if "--engine" in action.option_strings
+            ]
+            assert engine_actions and \
+                "auto" in engine_actions[0].choices, cmd
+        assert "--engine\n  auto" in readme or "--engine auto" in readme
+
+    def test_referenced_files_exist(self, readme, architecture):
+        for rel in (
+            "benchmarks/bench_sched.py",
+            "tests/test_adaptive_sched.py",
+            "tests/test_predictor_features.py",
+        ):
+            assert (ROOT / rel).exists(), rel
+            assert rel in readme or rel in architecture, rel
+
+
 class TestClusterObservabilityDocs:
     @pytest.fixture(scope="class")
     def architecture(self):

@@ -16,6 +16,7 @@ class TestErrorHierarchy:
             "SchedulerError",
             "MemoryModelError",
             "ServiceError",
+            "AdmissionError",
             "QueueFullError",
             "JobTimeoutError",
             "JobCancelledError",
@@ -37,7 +38,8 @@ class TestErrorHierarchy:
 
     def test_service_errors_are_service_errors(self):
         for name in ("QueueFullError", "JobTimeoutError",
-                     "JobCancelledError", "WorkerCrashError"):
+                     "JobCancelledError", "WorkerCrashError",
+                     "AdmissionError"):
             assert issubclass(getattr(errors, name), errors.ServiceError)
 
     def test_cluster_errors_nest_under_service_error(self):
@@ -95,7 +97,7 @@ class TestPackageSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_public_docstrings(self):
         """Every public class/function in the core API carries a docstring."""

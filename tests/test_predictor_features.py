@@ -1,0 +1,91 @@
+"""Property tests for the cost model's feature extraction.
+
+The contract the predictor relies on (see
+:mod:`repro.sched.adaptive.features`): feature extraction is a pure
+function of ``(graph fingerprint, canonical pattern key)`` — it is
+deterministic across calls, and invariant under pattern vertex
+relabeling, because two isomorphic submissions must train and hit the
+same model entry even though the matching-order heuristic may compile
+them to superficially different plans.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi
+from repro.patterns.pattern import PATTERNS
+from repro.sched.adaptive import analytic_work, plan_features, query_features
+from repro.service import pattern_cache_key
+
+GRAPH = erdos_renyi(50, 6.0, seed=9, name="prop-features-er50")
+FINGERPRINT = "prop-features-fp"
+
+_pattern_names = st.sampled_from(sorted(PATTERNS))
+
+
+@st.composite
+def pattern_and_permutation(draw):
+    pattern = PATTERNS[draw(_pattern_names)]
+    perm = draw(st.permutations(range(pattern.num_vertices)))
+    return pattern, list(perm)
+
+
+class TestDeterminism:
+    @given(name=_pattern_names, induced=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_feature_extraction_is_deterministic(self, name, induced):
+        key = pattern_cache_key(PATTERNS[name], induced)
+        first = query_features(GRAPH, FINGERPRINT, key)
+        second = query_features(GRAPH, FINGERPRINT, key)
+        assert first == second
+        assert first.key() == second.key()
+        assert analytic_work(first) == analytic_work(second)
+
+    @given(name=_pattern_names, induced=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_plan_features_pure_function_of_key(self, name, induced):
+        key = pattern_cache_key(PATTERNS[name], induced)
+        # bypass the lru_cache: a freshly computed record must equal the
+        # cached one, so memoisation never changes the answer
+        assert plan_features(key) == plan_features.__wrapped__(key)
+
+
+class TestRelabelingInvariance:
+    @given(pp=pattern_and_permutation(), induced=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_cache_key_is_relabeling_invariant(self, pp, induced):
+        pattern, perm = pp
+        relabeled = pattern.relabeled(perm)
+        assert pattern_cache_key(relabeled, induced) == \
+            pattern_cache_key(pattern, induced)
+
+    @given(pp=pattern_and_permutation(), induced=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_features_are_relabeling_invariant(self, pp, induced):
+        pattern, perm = pp
+        original = query_features(
+            GRAPH, FINGERPRINT, pattern_cache_key(pattern, induced)
+        )
+        relabeled = query_features(
+            GRAPH, FINGERPRINT,
+            pattern_cache_key(pattern.relabeled(perm), induced),
+        )
+        # identical feature vector → identical predictor training key and
+        # identical analytic work, which is the property the EWMA relies on
+        assert original == relabeled
+
+    @given(pp=pattern_and_permutation())
+    @settings(max_examples=30, deadline=None)
+    def test_labelled_patterns_stay_invariant(self, pp):
+        pattern, perm = pp
+        labelled = pattern.with_labels(
+            [v % 3 for v in range(pattern.num_vertices)]
+        )
+        key_a = pattern_cache_key(labelled, True)
+        key_b = pattern_cache_key(labelled.relabeled(perm), True)
+        assert key_a == key_b
+        features = query_features(GRAPH, FINGERPRINT, key_a)
+        assert features.labelled
+        assert features == query_features(GRAPH, FINGERPRINT, key_b)

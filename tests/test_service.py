@@ -14,6 +14,7 @@ from repro.core.api import XSetAccelerator
 from repro.errors import ServiceError
 from repro.graph.generators import erdos_renyi
 from repro.patterns.pattern import PATTERNS, Pattern
+from repro.sched.adaptive import SchedulingConfig
 from repro.service import (
     GraphRegistry,
     InlineExecutor,
@@ -234,7 +235,8 @@ class TestPriorities:
     def test_fifo_within_priority(self, service_graphs):
         executor = RecordingExecutor()
         with QueryService(
-            mode="inline", start_paused=True, executor=executor
+            mode="inline", start_paused=True, executor=executor,
+            scheduling=SchedulingConfig(policy="fifo"),
         ) as svc:
             gid = svc.register_graph(service_graphs[0])
             for name in ("3CF", "WEDGE", "P3"):
